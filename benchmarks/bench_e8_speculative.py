@@ -1,0 +1,104 @@
+"""E8 (ablation) — speculative "just in case" parallelism.
+
+Paper remark (end of Section 4.4): "one may be able to reduce the time
+it takes to produce the answer by calling functions in parallel just in
+case, and thereby introduce more parallelism ... [it] requires the use
+of a cost model".
+
+Regenerates: the cost model's two sides — extra (possibly wasted)
+invocations vs. saved rounds/elapsed time — for careful (relevant-only)
+vs speculative evaluation, sweeping how often speculation loses (the
+fraction of hotels whose rating call returns a low rating and thereby
+invalidates its sibling calls).
+"""
+
+import pytest
+
+from bench_harness import evaluate_workload, print_table, run_once
+from repro.lazy.config import Strategy
+from repro.workloads.hotels import HotelsWorkloadParams, build_hotels_workload
+
+# hotel_five_star_fraction = probability that speculation on a hotel's
+# nearby-calls pays off (a low rating wastes them).
+PAYOFF_FRACTIONS = [1.0, 0.75, 0.5, 0.25]
+MODES = [("careful", False), ("speculative", True)]
+
+
+def workload_of(payoff):
+    return build_hotels_workload(
+        HotelsWorkloadParams(
+            n_hotels=24,
+            extra_hotels_via_service=0,
+            target_name_fraction=1.0,
+            hotel_five_star_fraction=payoff,
+            intensional_rating_fraction=1.0,
+            intensional_restos_fraction=1.0,
+            nested_rating_fraction=0.0,
+            seed=37,
+        )
+    )
+
+
+def sweep():
+    rows = []
+    metrics = {}
+    for payoff in PAYOFF_FRACTIONS:
+        wl = workload_of(payoff)
+        for name, speculative in MODES:
+            outcome, _ = evaluate_workload(
+                wl, strategy=Strategy.LAZY_NFQ, speculative=speculative
+            )
+            m = outcome.metrics
+            rows.append(
+                (
+                    f"{payoff:.0%}",
+                    name,
+                    m.calls_invoked,
+                    m.invocation_rounds,
+                    m.simulated_parallel_s,
+                    len(outcome.rows),
+                )
+            )
+            metrics[(payoff, name)] = (m, outcome.value_rows())
+    return rows, metrics
+
+
+def test_e8_report(benchmark, capsys):
+    rows, metrics = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print_table(
+            "E8: careful vs speculative parallelism (Section 4.4 remark)",
+            ["payoff", "mode", "calls", "rounds", "par_time_s", "rows"],
+            rows,
+            note="payoff = fraction of hotels whose rating justifies the bet",
+        )
+    for payoff in PAYOFF_FRACTIONS:
+        careful, careful_rows = metrics[(payoff, "careful")]
+        spec, spec_rows = metrics[(payoff, "speculative")]
+        assert spec_rows == careful_rows  # never changes the answer
+        assert spec.invocation_rounds <= careful.invocation_rounds
+        assert spec.simulated_parallel_s <= careful.simulated_parallel_s + 1e-9
+        assert spec.calls_invoked >= careful.calls_invoked
+    # The bet's cost appears as the payoff fraction drops: wasted calls.
+    waste_high = (
+        metrics[(PAYOFF_FRACTIONS[-1], "speculative")][0].calls_invoked
+        - metrics[(PAYOFF_FRACTIONS[-1], "careful")][0].calls_invoked
+    )
+    waste_low = (
+        metrics[(PAYOFF_FRACTIONS[0], "speculative")][0].calls_invoked
+        - metrics[(PAYOFF_FRACTIONS[0], "careful")][0].calls_invoked
+    )
+    assert waste_high > waste_low
+
+
+@pytest.mark.parametrize("name,speculative", MODES, ids=[m for m, _ in MODES])
+def test_e8_benchmark(benchmark, name, speculative):
+    wl = workload_of(0.5)
+
+    def run():
+        outcome, _ = evaluate_workload(
+            wl, strategy=Strategy.LAZY_NFQ, speculative=speculative
+        )
+        return outcome.metrics.calls_invoked
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)

@@ -1,0 +1,54 @@
+"""Shared harness for the experiment benchmarks.
+
+Every ``bench_e*.py`` file regenerates one table/figure of the paper's
+evaluation (reconstructed — see DESIGN.md §4 and EXPERIMENTS.md): it
+prints the series the paper reports, asserts the qualitative claim
+(who wins, how the gap moves), and exposes pytest-benchmark timings.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.lazy.config import EngineConfig
+from repro.lazy.engine import LazyQueryEvaluator
+
+
+def evaluate_workload(workload, query=None, network=None, **config_kwargs):
+    """One full evaluation over a fresh document; returns (outcome, bus)."""
+    bus = workload.make_bus(network=network)
+    engine = LazyQueryEvaluator(
+        bus, schema=workload.schema, config=EngineConfig(**config_kwargs)
+    )
+    outcome = engine.evaluate(query or workload.query, workload.make_document())
+    return outcome, bus
+
+
+def run_once(benchmark, fn):
+    """Run an expensive sweep exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title, headers, rows, note=None):
+    """Aligned plain-text experiment table."""
+    widths = [len(h) for h in headers]
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in text_rows:
+        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    if note:
+        print(f"({note})")
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,143 @@
+"""repro — Lazy Query Evaluation for Active XML.
+
+A from-scratch reproduction of Abiteboul, Benjelloun, Cautis, Manolescu,
+Milo & Preda, *"Lazy Query Evaluation for Active XML"*, SIGMOD 2004.
+
+Quickstart::
+
+    from repro import (
+        E, V, C, build_document, parse_pattern, parse_schema,
+        ServiceRegistry, ServiceBus, TableService,
+        LazyQueryEvaluator, EngineConfig, Strategy,
+    )
+
+    registry = ServiceRegistry([...])
+    bus = ServiceBus(registry)
+    engine = LazyQueryEvaluator(bus, config=EngineConfig(Strategy.LAZY_NFQ))
+    outcome = engine.evaluate(parse_pattern("/hotels/hotel[...]"), document)
+    print(outcome.value_rows(), outcome.metrics.summary())
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from .axml import (
+    Activation,
+    C,
+    Document,
+    DocumentStats,
+    E,
+    Node,
+    NodeKind,
+    V,
+    build_document,
+    parse_document,
+    serialize_document,
+)
+from .lazy import (
+    BindingsOverlay,
+    ContinuousQuery,
+    compare_strategies,
+    format_comparison,
+    EngineConfig,
+    EvaluationOutcome,
+    FGuide,
+    FaultPolicy,
+    LazyQueryEvaluator,
+    Metrics,
+    NFQBuilder,
+    Strategy,
+    TypingMode,
+    build_nfqs,
+    compute_layers,
+    linear_path_queries,
+)
+from .pattern import (
+    EdgeKind,
+    MatchOptions,
+    MatchSet,
+    Matcher,
+    TreePattern,
+    parse_pattern,
+    snapshot_result,
+)
+from .schema import (
+    ExactSatisfiability,
+    FunctionSignature,
+    LenientSatisfiability,
+    Schema,
+    TerminationReport,
+    analyze_termination,
+    guaranteed_terminating,
+    parse_schema,
+)
+from .services import (
+    CallableService,
+    NetworkModel,
+    PushMode,
+    SequenceService,
+    Service,
+    ServiceBus,
+    ServiceRegistry,
+    StaticService,
+    TableService,
+    make_signature,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Activation",
+    "BindingsOverlay",
+    "C",
+    "CallableService",
+    "ContinuousQuery",
+    "Document",
+    "DocumentStats",
+    "E",
+    "EdgeKind",
+    "EngineConfig",
+    "EvaluationOutcome",
+    "ExactSatisfiability",
+    "FGuide",
+    "FaultPolicy",
+    "FunctionSignature",
+    "LazyQueryEvaluator",
+    "LenientSatisfiability",
+    "MatchOptions",
+    "MatchSet",
+    "Matcher",
+    "Metrics",
+    "NFQBuilder",
+    "NetworkModel",
+    "Node",
+    "NodeKind",
+    "PushMode",
+    "Schema",
+    "SequenceService",
+    "Service",
+    "ServiceBus",
+    "ServiceRegistry",
+    "StaticService",
+    "Strategy",
+    "TableService",
+    "TerminationReport",
+    "TreePattern",
+    "TypingMode",
+    "V",
+    "analyze_termination",
+    "build_document",
+    "build_nfqs",
+    "compare_strategies",
+    "compute_layers",
+    "format_comparison",
+    "guaranteed_terminating",
+    "linear_path_queries",
+    "make_signature",
+    "parse_document",
+    "parse_pattern",
+    "parse_schema",
+    "serialize_document",
+    "snapshot_result",
+    "__version__",
+]

@@ -1,0 +1,275 @@
+"""AXML documents: identity, mutation, and observation.
+
+A :class:`Document` owns a tree of :class:`~repro.axml.node.Node` objects,
+assigns stable node ids, and funnels the one mutation that matters to the
+paper — replacing a function node by the forest its invocation returned
+(Definition 2's rewrite step ``d1 ->v d2``) — through a single method so
+that access structures such as the F-guide (Section 6.2) can be maintained
+incrementally via the observer hook.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Optional, Protocol
+
+from .node import Node, NodeKind
+
+
+class DocumentObserver(Protocol):
+    """Incremental-maintenance hook for document mutations."""
+
+    def call_removed(self, document: "Document", node: Node) -> None:
+        """A function node was removed (it has just been invoked)."""
+
+    def calls_added(self, document: "Document", nodes: list[Node]) -> None:
+        """New function nodes appeared (inside an invocation result)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class DocumentStats:
+    """Size figures for a document, used by experiment reports."""
+
+    total_nodes: int
+    element_nodes: int
+    value_nodes: int
+    function_nodes: int
+    max_depth: int
+
+    @property
+    def intensional_fraction(self) -> float:
+        """Fraction of nodes that are (still) unevaluated service calls."""
+        if self.total_nodes == 0:
+            return 0.0
+        return self.function_nodes / self.total_nodes
+
+
+class Document:
+    """An Active XML document.
+
+    Args:
+        root: the root node; it must be an element node (the paper's
+            documents always have a data root — a function node cannot
+            replace the document root).
+        name: optional human-readable name used in reports.
+    """
+
+    def __init__(self, root: Node, name: str = "document") -> None:
+        if not root.is_element:
+            raise ValueError("document root must be an element node")
+        if root.parent is not None:
+            raise ValueError("document root must be detached")
+        self.root = root
+        self.name = name
+        self.version = 0
+        """Bumped on every mutation; cheap change detection for caches
+        and continuous queries."""
+        self._next_id = 0
+        self._nodes_by_id: dict[int, Node] = {}
+        self._observers: list[DocumentObserver] = []
+        self._register_subtree(root)
+
+    # -- identity ------------------------------------------------------------
+
+    def _register_subtree(self, subtree_root: Node) -> list[Node]:
+        """Assign ids to every node of a freshly attached subtree."""
+        new_functions = []
+        for node in subtree_root.iter_subtree():
+            node.node_id = self._next_id
+            self._nodes_by_id[self._next_id] = node
+            self._next_id += 1
+            if node.is_function:
+                new_functions.append(node)
+        return new_functions
+
+    def node(self, node_id: int) -> Node:
+        """The node with the given id (raises ``KeyError`` if gone)."""
+        node = self._nodes_by_id[node_id]
+        return node
+
+    def contains(self, node: Node) -> bool:
+        """Is this exact node currently part of the document?"""
+        return (
+            node.node_id is not None
+            and self._nodes_by_id.get(node.node_id) is node
+        )
+
+    # -- observers -----------------------------------------------------------
+
+    def add_observer(self, observer: DocumentObserver) -> None:
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: DocumentObserver) -> None:
+        self._observers.remove(observer)
+
+    # -- queries over the tree -------------------------------------------------
+
+    def iter_nodes(self) -> Iterator[Node]:
+        return self.root.iter_subtree()
+
+    def function_nodes(self) -> list[Node]:
+        """All function nodes currently embedded, in document order."""
+        return [n for n in self.iter_nodes() if n.is_function]
+
+    def stats(self) -> DocumentStats:
+        counts = {NodeKind.ELEMENT: 0, NodeKind.VALUE: 0, NodeKind.FUNCTION: 0}
+        max_depth = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            counts[node.kind] += 1
+            max_depth = max(max_depth, depth)
+            stack.extend((c, depth + 1) for c in node.children)
+        return DocumentStats(
+            total_nodes=sum(counts.values()),
+            element_nodes=counts[NodeKind.ELEMENT],
+            value_nodes=counts[NodeKind.VALUE],
+            function_nodes=counts[NodeKind.FUNCTION],
+            max_depth=max_depth,
+        )
+
+    # -- the rewrite step ------------------------------------------------------
+
+    def replace_call(self, function_node: Node, result_forest: Iterable[Node]) -> list[Node]:
+        """Definition 2's rewrite step: splice a call result into the tree.
+
+        The function node (with its parameter subtrees) is deleted and the
+        trees of ``result_forest`` are plugged in its place, preserving
+        document order.  Every node of the result is tagged as produced by
+        the invoked call, and observers are notified.
+
+        Returns:
+            The function nodes newly brought in by the result forest.
+        """
+        if not self.contains(function_node):
+            raise ValueError(f"{function_node!r} is not part of this document")
+        if not function_node.is_function:
+            raise ValueError("replace_call expects a function node")
+        parent = function_node.parent
+        if parent is None:
+            raise ValueError("cannot replace the document root")
+
+        self.version += 1
+        invoked_id = function_node.node_id
+        self.record_call_provenance(function_node)
+        position = parent.children.index(function_node)
+        self._unregister_subtree(function_node)
+        function_node.detach()
+        for observer in self._observers:
+            observer.call_removed(self, function_node)
+
+        new_functions: list[Node] = []
+        for offset, tree in enumerate(result_forest):
+            if tree.parent is not None:
+                raise ValueError("result forest trees must be detached")
+            new_functions.extend(self._register_subtree(tree))
+            for node in tree.iter_subtree():
+                node.produced_by = invoked_id
+            tree.parent = parent
+            parent.children.insert(position + offset, tree)
+        if new_functions:
+            for observer in self._observers:
+                observer.calls_added(self, new_functions)
+        return new_functions
+
+    def _unregister_subtree(self, subtree_root: Node) -> None:
+        for node in subtree_root.iter_subtree():
+            if node.node_id is not None:
+                self._nodes_by_id.pop(node.node_id, None)
+
+    # -- general updates -----------------------------------------------------
+
+    def insert_subtree(
+        self, parent: Node, subtree: Node, position: Optional[int] = None
+    ) -> list[Node]:
+        """Insert a detached subtree as a child of ``parent``.
+
+        Section 6.2 notes that access structures "must be maintained as
+        the document evolves ... if the document is updated" — not only
+        through call invocations; this is the generic insertion, with
+        observer notification for any calls the subtree brings.
+
+        Returns the function nodes newly added to the document.
+        """
+        if not self.contains(parent):
+            raise ValueError("insertion parent is not part of this document")
+        if parent.is_value:
+            raise ValueError("value leaves cannot have children")
+        if subtree.parent is not None:
+            raise ValueError("subtree must be detached")
+        self.version += 1
+        new_functions = self._register_subtree(subtree)
+        subtree.parent = parent
+        if position is None:
+            parent.children.append(subtree)
+        else:
+            parent.children.insert(position, subtree)
+        if new_functions:
+            for observer in self._observers:
+                observer.calls_added(self, new_functions)
+        return new_functions
+
+    def remove_subtree(self, node: Node) -> Node:
+        """Remove (and return) a subtree, notifying observers of every
+        call that disappears with it."""
+        if not self.contains(node):
+            raise ValueError("node is not part of this document")
+        if node is self.root:
+            raise ValueError("cannot remove the document root")
+        self.version += 1
+        removed_calls = [n for n in node.iter_subtree() if n.is_function]
+        for call in removed_calls:
+            self.record_call_provenance(call)
+        self._unregister_subtree(node)
+        node.detach()
+        for call in removed_calls:
+            for observer in self._observers:
+                observer.call_removed(self, call)
+        return node
+
+    # -- provenance --------------------------------------------------------------
+
+    def transitively_produced_by(self, node: Node, call_id: int) -> bool:
+        """Was ``node`` (transitively) produced by the call with ``call_id``?
+
+        Realises the paper's relation from Definition 2: a node is
+        transitively produced by call ``v`` if it was produced by ``v`` or
+        by some call that was itself transitively produced by ``v``.
+        """
+        producer = node.produced_by
+        seen = set()
+        while producer is not None and producer not in seen:
+            if producer == call_id:
+                return True
+            seen.add(producer)
+            producer_node = self._produced_index().get(producer)
+            producer = producer_node
+        return False
+
+    def _produced_index(self) -> dict[int, Optional[int]]:
+        """Map call-id -> id of the call that produced *that* call node.
+
+        Built lazily from provenance tags; removed call nodes are no
+        longer in ``_nodes_by_id`` so we record provenance eagerly.
+        """
+        if not hasattr(self, "_producer_of_call"):
+            self._producer_of_call: dict[int, Optional[int]] = {}
+        return self._producer_of_call
+
+    def record_call_provenance(self, call_node: Node) -> None:
+        """Remember who produced a call before the call node is removed."""
+        if call_node.node_id is not None:
+            self._produced_index()[call_node.node_id] = call_node.produced_by
+
+    # -- copying -------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Document":
+        """An independent deep copy (fresh node ids, no observers)."""
+        return Document(self.root.clone(), name=name or self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"Document({self.name!r}, nodes={stats.total_nodes}, "
+            f"calls={stats.function_nodes})"
+        )

@@ -1,0 +1,82 @@
+"""Label paths: the positions at which nodes (and calls) live.
+
+The relevance analysis of Sections 3-4 reasons about the *position* of a
+function node, i.e. the sequence of element labels from the document root
+down to the node.  This module centralises that notion so the matcher, the
+F-guide and the automata-based influence tests all agree on it.
+
+Conventions:
+
+* A path is a tuple of element labels, **including** the root label.
+* The path *of* a function node is the path of its parent element —
+  function nodes themselves carry no label that queries can match, and
+  their result is spliced in at exactly the parent's position.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .node import Node
+
+LabelPath = tuple[str, ...]
+
+
+def path_to(node: Node) -> LabelPath:
+    """Labels from the document root down to ``node`` (inclusive).
+
+    Only element labels participate; it is an error to ask for the path
+    of a value or function node directly — use :func:`call_position` for
+    function nodes.
+    """
+    if not node.is_element:
+        raise ValueError("label paths are defined on element nodes only")
+    labels = [node.label]
+    labels.extend(anc.label for anc in node.iter_ancestors())
+    labels.reverse()
+    return tuple(labels)
+
+
+def call_position(function_node: Node) -> LabelPath:
+    """The position of a function node: the label path of its parent."""
+    if not function_node.is_function:
+        raise ValueError("call_position expects a function node")
+    parent = function_node.parent
+    if parent is None:
+        raise ValueError("detached function node has no position")
+    return path_to(parent)
+
+
+def format_path(path: Iterable[str]) -> str:
+    """Render a label path in XPath style, e.g. ``/hotels/hotel/nearby``."""
+    return "/" + "/".join(path)
+
+
+def is_prefix(prefix: LabelPath, path: LabelPath) -> bool:
+    """Is ``prefix`` an initial segment of ``path``?"""
+    return len(prefix) <= len(path) and path[: len(prefix)] == prefix
+
+
+def common_prefix(a: LabelPath, b: LabelPath) -> LabelPath:
+    """Longest common initial segment of two paths."""
+    out = []
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        out.append(x)
+    return tuple(out)
+
+
+def parse_path(text: str) -> Optional[LabelPath]:
+    """Parse ``/a/b/c`` into ``("a", "b", "c")``; ``None`` if not linear.
+
+    Only plain child steps are accepted here — this is a convenience for
+    tests and the F-guide, not the query parser (see
+    :mod:`repro.pattern.parse` for the full surface syntax).
+    """
+    if not text.startswith("/") or "//" in text:
+        return None
+    parts = [p for p in text.split("/") if p]
+    if any(not p or "[" in p or "(" in p for p in parts):
+        return None
+    return tuple(parts)

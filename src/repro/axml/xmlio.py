@@ -1,0 +1,127 @@
+"""XML (de)serialisation of AXML trees.
+
+Standards-compliant interchange (the paper's system is "compliant with XML
+and Web services standards"): a function node is serialised as an
+``axml:call`` element whose ``service`` attribute names the function and
+whose children are the call parameters — the convention used by the
+ActiveXML system.
+
+Example::
+
+    <hotel>
+      <name>Best Western</name>
+      <nearby>
+        <axml:call service="getNearbyRestos"><param>2nd Av.</param></axml:call>
+      </nearby>
+    </hotel>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Iterable
+
+from .document import Document
+from .node import Activation, Node, NodeKind, call, element, value
+
+AXML_NAMESPACE = "http://activexml.net/2004/axml"
+_CALL_TAG = f"{{{AXML_NAMESPACE}}}call"
+_SERVICE_ATTR = "service"
+_MODE_ATTR = "mode"
+
+ET.register_namespace("axml", AXML_NAMESPACE)
+
+
+def to_etree(node: Node) -> ET.Element:
+    """Convert an AXML node to an ElementTree element."""
+    if node.is_value:
+        raise ValueError("a bare value node has no element representation")
+    if node.is_function:
+        attributes = {_SERVICE_ATTR: node.label}
+        if node.activation is not Activation.LAZY:
+            attributes[_MODE_ATTR] = node.activation.value
+        out = ET.Element(_CALL_TAG, attributes)
+    else:
+        out = ET.Element(node.label)
+    _fill_children(out, node.children)
+    return out
+
+
+def _fill_children(out: ET.Element, children: Iterable[Node]) -> None:
+    previous: ET.Element | None = None
+    for child in children:
+        if child.is_value:
+            if previous is None:
+                out.text = (out.text or "") + child.label
+            else:
+                previous.tail = (previous.tail or "") + child.label
+        else:
+            sub = to_etree(child)
+            out.append(sub)
+            previous = sub
+
+
+def from_etree(elem: ET.Element) -> Node:
+    """Convert an ElementTree element back to an AXML node."""
+    if elem.tag == _CALL_TAG:
+        service_name = elem.get(_SERVICE_ATTR)
+        if not service_name:
+            raise ValueError("axml:call element is missing its service attribute")
+        node = call(
+            service_name,
+            activation=Activation(elem.get(_MODE_ATTR, Activation.LAZY.value)),
+        )
+    else:
+        node = element(elem.tag)
+    text = (elem.text or "").strip()
+    if text:
+        node.append(value(text))
+    for sub in elem:
+        node.append(from_etree(sub))
+        tail = (sub.tail or "").strip()
+        if tail:
+            node.append(value(tail))
+    return node
+
+
+def serialize(node: Node) -> str:
+    """Serialise a node (element or function) to an XML string."""
+    return ET.tostring(to_etree(node), encoding="unicode")
+
+
+def serialize_forest(forest: Iterable[Node]) -> str:
+    """Serialise a forest by wrapping it in an ``axml:forest`` element."""
+    wrapper = ET.Element(f"{{{AXML_NAMESPACE}}}forest")
+    _fill_children(wrapper, list(forest))
+    return ET.tostring(wrapper, encoding="unicode")
+
+
+def parse(text: str) -> Node:
+    """Parse an XML string into a detached AXML tree."""
+    return from_etree(ET.fromstring(text))
+
+
+def parse_document(text: str, name: str = "document") -> Document:
+    """Parse an XML string into a full :class:`Document`."""
+    return Document(parse(text), name=name)
+
+
+def serialize_document(document: Document) -> str:
+    """Serialise a whole document to an XML string."""
+    return serialize(document.root)
+
+
+def serialized_size(node: Node) -> int:
+    """Size in bytes of a node's XML serialisation (UTF-8).
+
+    Used by the simulated network layer to account data-transfer volume
+    for the query-pushing experiment (E3).
+    """
+    if node.is_value:
+        return len(node.label.encode("utf-8"))
+    return len(serialize(node).encode("utf-8"))
+
+
+def forest_size_bytes(forest: Iterable[Node]) -> int:
+    """Total serialised size of a result forest."""
+    return sum(serialized_size(tree) for tree in forest)

@@ -1,0 +1,280 @@
+"""Command-line interface: evaluate, validate and analyse AXML documents.
+
+Usage examples::
+
+    # Evaluate a query over an AXML document with declarative services.
+    repro-axml eval --document hotels.xml --services services.xml \
+        --schema hotels.schema --strategy lazy-nfq-typed \
+        --query '/hotels/hotel[rating="5"]/name'
+
+    # Validate a document against a schema.
+    repro-axml validate --document hotels.xml --schema hotels.schema
+
+    # Inspect the relevance machinery for a query.
+    repro-axml analyze --schema hotels.schema \
+        --query '/hotels/hotel[rating="5"]/name'
+
+The declarative services file is an XML catalogue of keyed mock
+services (the offline stand-in for real SOAP endpoints)::
+
+    <services>
+      <service name="getRating" latency="0.05" in="data" out="data">
+        <case key="22 Madison Av.">2</case>
+        <default>3</default>
+      </service>
+    </services>
+
+The content of each ``<case>``/``<default>`` is the result forest, in
+the same AXML-XML dialect as documents (so results may themselves embed
+``axml:call`` elements).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from typing import Optional, Sequence
+
+from .axml.node import Node
+from .axml.xmlio import from_etree, parse_document, serialize_document
+from .lazy.config import EngineConfig, FaultPolicy, Strategy, TypingMode
+from .lazy.engine import LazyQueryEvaluator
+from .lazy.influence import InfluenceAnalyzer
+from .lazy.layers import compute_layers
+from .lazy.relevance import build_nfqs, linear_path_queries
+from .lazy.report import compare_strategies, format_comparison
+from .pattern.parse import parse_pattern
+from .schema.schema import Schema, parse_schema
+from .schema.termination import analyze_termination
+from .services.catalog import TableService, make_signature
+from .services.registry import ServiceBus, ServiceRegistry
+from .services.service import PushMode
+
+_STRATEGIES = {s.value: s for s in Strategy}
+_PUSH_MODES = {m.value: m for m in PushMode}
+_TYPINGS = {t.value: t for t in TypingMode}
+
+
+def load_services(path: str) -> ServiceRegistry:
+    """Parse the declarative services catalogue."""
+    root = ET.parse(path).getroot()
+    services = []
+    for service_elem in root.findall("service"):
+        name = service_elem.get("name")
+        if not name:
+            raise ValueError(f"{path}: <service> is missing its name")
+        latency = float(service_elem.get("latency", "0.05"))
+        supports_push = service_elem.get("push", "true").lower() != "false"
+        signature = None
+        if service_elem.get("in") and service_elem.get("out"):
+            signature = make_signature(
+                name, service_elem.get("in"), service_elem.get("out")
+            )
+        table: dict[str, list[Node]] = {}
+        default: Optional[list[Node]] = None
+        for case in service_elem:
+            forest = _forest_of(case)
+            if case.tag == "case":
+                key = case.get("key")
+                if key is None:
+                    raise ValueError(f"{path}: <case> needs a key for {name}")
+                table[key] = forest
+            elif case.tag == "default":
+                default = forest
+            else:
+                raise ValueError(f"{path}: unexpected <{case.tag}> in {name}")
+        services.append(
+            TableService(
+                name,
+                table,
+                default=default,
+                signature=signature,
+                latency_s=latency,
+                supports_push=supports_push,
+            )
+        )
+    return ServiceRegistry(services)
+
+
+def _forest_of(container: ET.Element) -> list[Node]:
+    """The AXML forest held by a catalogue entry (text + elements)."""
+    wrapper = from_etree(container)
+    forest = []
+    for child in list(wrapper.children):
+        child.detach()
+        forest.append(child)
+    return forest
+
+
+def _build_config(args: argparse.Namespace) -> EngineConfig:
+    return EngineConfig(
+        strategy=_STRATEGIES[args.strategy],
+        typing=_TYPINGS[args.typing],
+        use_layers=not args.no_layers,
+        parallel=not args.sequential,
+        use_fguide=args.fguide,
+        speculative=args.speculative,
+        push_mode=_PUSH_MODES[args.push],
+        drop_value_joins=args.relaxed,
+        validate_io=args.validate_io,
+        fault_policy=(
+            FaultPolicy.SKIP if args.skip_faults else FaultPolicy.RAISE
+        ),
+        max_invocations=args.max_calls,
+    )
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    document = parse_document(_read(args.document), name=args.document)
+    schema = parse_schema(_read(args.schema)) if args.schema else None
+    registry = (
+        load_services(args.services) if args.services else ServiceRegistry([])
+    )
+    query = parse_pattern(args.query)
+    engine = LazyQueryEvaluator(
+        ServiceBus(registry), schema=schema, config=_build_config(args)
+    )
+    outcome = engine.evaluate(query, document)
+    print(outcome.metrics.summary())
+    print(outcome.to_xml())
+    if args.save_document:
+        with open(args.save_document, "w", encoding="utf-8") as handle:
+            handle.write(serialize_document(document))
+        print(f"(rewritten document saved to {args.save_document})")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run every strategy side by side over the same inputs."""
+    schema = parse_schema(_read(args.schema)) if args.schema else None
+    registry = (
+        load_services(args.services) if args.services else ServiceRegistry([])
+    )
+    query = parse_pattern(args.query)
+    document_text = _read(args.document)
+
+    def document_factory():
+        return parse_document(document_text, name=args.document)
+
+    def bus_factory():
+        return ServiceBus(registry)
+
+    configs = [
+        EngineConfig(strategy=strategy)
+        for strategy in (
+            Strategy.NAIVE,
+            Strategy.TOP_DOWN,
+            Strategy.LAZY_LPQ,
+            Strategy.LAZY_NFQ,
+            Strategy.LAZY_NFQ_TYPED,
+        )
+    ]
+    rows = compare_strategies(
+        configs,
+        query,
+        document_factory=document_factory,
+        bus_factory=bus_factory,
+        schema=schema,
+    )
+    print(format_comparison(rows, title=f"strategies over {args.document}"))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    document = parse_document(_read(args.document), name=args.document)
+    schema = parse_schema(_read(args.schema))
+    errors = schema.validate_document(document)
+    if not errors:
+        print("document is valid")
+        return 0
+    for error in errors:
+        print(f"violation: {error}")
+    return 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    query = parse_pattern(args.query)
+    print(f"query: {query.to_string()}")
+    print("\nlinear path queries (Section 3.1):")
+    for rq in linear_path_queries(query, dedupe=False):
+        print(f"  {rq.pattern.to_string()}")
+    nfqs = build_nfqs(query)
+    print("\nnode-focused queries (Figure 5, de-duplicated):")
+    for rq in nfqs:
+        print(f"  {rq.pattern.to_string()}")
+    layers = compute_layers(nfqs, InfluenceAnalyzer(nfqs))
+    print("\nlayers (Section 4.3):")
+    for layer in layers:
+        mode = "parallel" if layer.fully_parallel else "sequential"
+        names = ", ".join(q.target.render() for q in layer.queries)
+        print(f"  layer {layer.index} ({mode}): {names}")
+    if args.schema:
+        schema = parse_schema(_read(args.schema))
+        report = analyze_termination(schema)
+        print(f"\ntermination: {report.explain()}")
+    return 0
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-axml",
+        description="Lazy query evaluation for Active XML documents.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ev = sub.add_parser("eval", help="evaluate a query over a document")
+    ev.add_argument("--document", required=True, help="AXML document (XML)")
+    ev.add_argument("--query", required=True, help="tree-pattern query")
+    ev.add_argument("--schema", help="schema file (Figure 2 format)")
+    ev.add_argument("--services", help="declarative services catalogue (XML)")
+    ev.add_argument(
+        "--strategy",
+        choices=sorted(_STRATEGIES),
+        default="lazy-nfq",
+    )
+    ev.add_argument("--typing", choices=sorted(_TYPINGS), default="none")
+    ev.add_argument("--push", choices=sorted(_PUSH_MODES), default="none")
+    ev.add_argument("--fguide", action="store_true")
+    ev.add_argument("--speculative", action="store_true")
+    ev.add_argument("--relaxed", action="store_true", help="drop value joins")
+    ev.add_argument("--no-layers", action="store_true")
+    ev.add_argument("--sequential", action="store_true")
+    ev.add_argument("--validate-io", action="store_true")
+    ev.add_argument("--skip-faults", action="store_true")
+    ev.add_argument("--max-calls", type=int, default=100_000)
+    ev.add_argument("--save-document", help="write the rewritten document")
+    ev.set_defaults(handler=cmd_eval)
+
+    co = sub.add_parser("compare", help="run every strategy side by side")
+    co.add_argument("--document", required=True)
+    co.add_argument("--query", required=True)
+    co.add_argument("--schema")
+    co.add_argument("--services")
+    co.set_defaults(handler=cmd_compare)
+
+    va = sub.add_parser("validate", help="validate a document against a schema")
+    va.add_argument("--document", required=True)
+    va.add_argument("--schema", required=True)
+    va.set_defaults(handler=cmd_validate)
+
+    an = sub.add_parser("analyze", help="inspect the relevance machinery")
+    an.add_argument("--query", required=True)
+    an.add_argument("--schema")
+    an.set_defaults(handler=cmd_analyze)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution
+    sys.exit(main())

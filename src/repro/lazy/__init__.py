@@ -1,0 +1,45 @@
+"""Lazy query evaluation: relevance, sequencing, typing, guides, pushing."""
+
+from .config import EngineConfig, FaultPolicy, Strategy, TypingMode
+from .continuous import ContinuousQuery
+from .engine import EvaluationOutcome, LazyQueryEvaluator
+from .fguide import FGuide
+from .influence import InfluenceAnalyzer
+from .layers import Layer, compute_layers
+from .metrics import Metrics, RoundRecord
+from .pushing import BindingsOverlay, PushedSubquery, pushed_subquery_for
+from .report import ComparisonRow, compare_strategies, format_comparison
+from .relevance import (
+    NFQBuilder,
+    RelevanceKind,
+    RelevanceQuery,
+    build_nfqs,
+    linear_path_queries,
+)
+
+__all__ = [
+    "BindingsOverlay",
+    "ComparisonRow",
+    "ContinuousQuery",
+    "EngineConfig",
+    "EvaluationOutcome",
+    "FGuide",
+    "FaultPolicy",
+    "InfluenceAnalyzer",
+    "Layer",
+    "LazyQueryEvaluator",
+    "Metrics",
+    "NFQBuilder",
+    "PushedSubquery",
+    "RelevanceKind",
+    "RelevanceQuery",
+    "RoundRecord",
+    "Strategy",
+    "TypingMode",
+    "build_nfqs",
+    "compare_strategies",
+    "compute_layers",
+    "format_comparison",
+    "linear_path_queries",
+    "pushed_subquery_for",
+]

@@ -1,0 +1,107 @@
+"""Engine configuration: strategies and tunables."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..services.service import PushMode
+
+
+class Strategy(enum.Enum):
+    """The evaluation strategies compared throughout the paper.
+
+    * ``NAIVE`` — Section 1's strawman: invoke every call recursively to
+      a fixpoint, then run the query on the materialised document.
+    * ``TOP_DOWN`` — Section 1's "less naive" baseline: traverse the
+      document top-down along the query paths, invoking (sequentially,
+      with restarts) every call encountered on a traversed path.  Its
+      invocation set coincides with the LPQ criterion, but it neither
+      batches nor parallelises.
+    * ``LAZY_LPQ`` — relevant-call detection with linear path queries
+      (Section 3.1; also the "relaxed NFQ" end of Section 6.1).
+    * ``LAZY_NFQ`` — node-focused queries (Section 3.2): exact relevance
+      under the any-output assumption (Proposition 1).
+    * ``LAZY_NFQ_TYPED`` — NFQs refined with function signatures
+      (Section 5): exact relevance.
+    """
+
+    NAIVE = "naive"
+    TOP_DOWN = "top-down"
+    LAZY_LPQ = "lazy-lpq"
+    LAZY_NFQ = "lazy-nfq"
+    LAZY_NFQ_TYPED = "lazy-nfq-typed"
+
+
+class TypingMode(enum.Enum):
+    """Which satisfiability oracle refines the NFQs (Sections 5, 6.1)."""
+
+    NONE = "none"
+    LENIENT = "lenient"
+    EXACT = "exact"
+
+
+class FaultPolicy(enum.Enum):
+    """What to do when a service invocation fails."""
+
+    RAISE = "raise"
+    SKIP = "skip"
+
+
+@dataclasses.dataclass
+class EngineConfig:
+    """Tunables of :class:`repro.lazy.engine.LazyQueryEvaluator`.
+
+    Defaults reproduce the paper's full system: layered NFQA with
+    parallel rounds, no F-guide (opt in), no pushing (opt in).
+    """
+
+    strategy: Strategy = Strategy.LAZY_NFQ
+    typing: TypingMode = TypingMode.NONE
+    use_layers: bool = True
+    parallel: bool = True
+    speculative: bool = False
+    """Fire *every* currently-relevant call of a round in parallel, even
+    when condition (*) does not guarantee independence — Section 4.4's
+    closing remark: "one may be able to reduce the time it takes to
+    produce the answer by calling functions in parallel just in case".
+    Trades possibly-wasted invocations for fewer rounds; never changes
+    the result (results of calls that turn out irrelevant cannot
+    contribute to any embedding)."""
+    use_fguide: bool = False
+    push_mode: PushMode = PushMode.NONE
+    dedupe_relevance_queries: bool = True
+    drop_value_joins: bool = False
+    fault_policy: FaultPolicy = FaultPolicy.RAISE
+    validate_io: bool = False
+    """Validate call parameters against the service input type before
+    invoking, and (un-pushed) results against the output type after —
+    the [21] interplay the paper's introduction describes.  Violations
+    follow ``fault_policy``: raise a SchemaError, or count-and-continue.
+    """
+    max_invocations: int = 100_000
+    max_rounds: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.strategy is Strategy.LAZY_NFQ_TYPED and self.typing is TypingMode.NONE:
+            self.typing = TypingMode.LENIENT
+        if self.strategy in (Strategy.NAIVE, Strategy.TOP_DOWN):
+            self.use_layers = False
+        if self.strategy is Strategy.TOP_DOWN:
+            self.parallel = False
+
+    @property
+    def label(self) -> str:
+        parts = [self.strategy.value]
+        if self.typing is not TypingMode.NONE and self.strategy not in (
+            Strategy.NAIVE,
+            Strategy.TOP_DOWN,
+        ):
+            parts.append(self.typing.value)
+        if self.speculative:
+            parts.append("spec")
+        if self.use_fguide:
+            parts.append("fguide")
+        if self.push_mode is not PushMode.NONE:
+            parts.append(f"push-{self.push_mode.value}")
+        return "+".join(parts)

@@ -1,0 +1,77 @@
+"""Continuous queries: keeping a full result fresh as documents evolve.
+
+Section 1 of the paper: because "service invocations possibly return
+data containing calls to new services ... the detection of relevant
+calls becomes a continuous process."  The lazy evaluator is naturally
+incremental — re-evaluating over an already-complete document invokes
+nothing — so a continuous query is a thin, change-aware wrapper:
+
+* :meth:`ContinuousQuery.refresh` returns the cached outcome instantly
+  while the document version is unchanged, and re-runs the (lazy,
+  incremental) evaluation after any mutation — whether a call
+  invocation, a subtree insertion, or a removal;
+* the wrapper never copies the document: it evaluates in place, exactly
+  like a standing subscription in the ActiveXML system would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..axml.document import Document
+from ..pattern.pattern import TreePattern
+from .engine import EvaluationOutcome, LazyQueryEvaluator
+
+
+class ContinuousQuery:
+    """A standing query over one (mutating) AXML document."""
+
+    def __init__(
+        self,
+        evaluator: LazyQueryEvaluator,
+        query: TreePattern,
+        document: Document,
+        eager: bool = True,
+    ) -> None:
+        self.evaluator = evaluator
+        self.query = query
+        self.document = document
+        self._outcome: Optional[EvaluationOutcome] = None
+        self._evaluated_version: Optional[int] = None
+        self.refresh_count = 0
+        if eager:
+            self.refresh()
+
+    @property
+    def is_stale(self) -> bool:
+        """Has the document changed since the last refresh?"""
+        return self._evaluated_version != self.document.version
+
+    def refresh(self) -> EvaluationOutcome:
+        """Return the up-to-date full result, re-evaluating if needed.
+
+        Note that the evaluation itself bumps the document version (it
+        invokes calls); the version recorded is the *post-evaluation*
+        one, so a quiescent document never re-evaluates.
+        """
+        if self._outcome is not None and not self.is_stale:
+            return self._outcome
+        self._outcome = self.evaluator.evaluate(self.query, self.document)
+        self._evaluated_version = self.document.version
+        self.refresh_count += 1
+        return self._outcome
+
+    def peek(self) -> Optional[EvaluationOutcome]:
+        """The last computed outcome (possibly stale), or ``None``."""
+        return self._outcome
+
+    def value_rows(self) -> set[tuple[str, ...]]:
+        """Convenience: refreshed result rows as value tuples."""
+        return self.refresh().value_rows()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "stale" if self.is_stale else "fresh"
+        return (
+            f"ContinuousQuery({self.query.name!r}, {state}, "
+            f"refreshes={self.refresh_count})"
+        )

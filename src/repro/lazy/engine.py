@@ -1,0 +1,648 @@
+"""The lazy query evaluator — the NFQA algorithm and its refinements.
+
+Ties everything together (Sections 3-7):
+
+1. build the relevance queries for the user query — LPQs (Section 3.1)
+   or (refined) NFQs (Sections 3.2 / 5);
+2. analyse their mutual influence (Proposition 3), split them into
+   totally ordered layers (Section 4.3) and precompute per-query
+   independence (condition (*), Section 4.4);
+3. run the NFQA loop per layer: evaluate the layer's relevance queries
+   — on the document, or on the F-guide with residual filtering
+   (Section 6.2) — and invoke the retrieved calls, one at a time or as a
+   parallel round when independence allows; repeat until the layer goes
+   quiet, then simplify the remaining NFQs (drop the finished layer's
+   function alternatives);
+4. optionally push subqueries over the invoked calls (Section 7),
+   splicing filtered forests or recording bindings in the overlay;
+5. finally evaluate the (now complete) document conventionally and
+   return the full result with a metrics record.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..axml.document import Document
+from ..axml.node import Activation, Node
+from ..axml.paths import call_position
+from ..schema import automata
+from ..pattern.match import Matcher, MatchCounter, MatchOptions, MatchSet
+from ..pattern.nodes import EdgeKind, PatternNode
+from ..pattern.pattern import TreePattern
+from ..schema.graphschema import LenientSatisfiability
+from ..schema.satisfiability import ExactSatisfiability, SatisfiabilityOracle
+from ..schema.schema import Schema, SchemaError
+from ..services.catalog import ServiceFault
+from ..services.registry import ServiceBus
+from ..services.service import PushMode
+from .config import EngineConfig, FaultPolicy, Strategy, TypingMode
+from .fguide import FGuide
+from .influence import InfluenceAnalyzer
+from .layers import Layer, compute_layers
+from .metrics import Metrics, RoundRecord
+from .naive import naive_fixpoint
+from .pushing import BindingsOverlay, PushedSubquery, pushed_subquery_for
+from .relevance import (
+    NFQBuilder,
+    RelevanceQuery,
+    linear_path_queries,
+)
+
+
+class EvaluationOutcome:
+    """Full result of a query plus the work it took."""
+
+    def __init__(
+        self,
+        query: TreePattern,
+        document: Document,
+        rows: MatchSet,
+        metrics: Metrics,
+        rounds: list[RoundRecord],
+        overlay: Optional[BindingsOverlay],
+    ) -> None:
+        self.query = query
+        self.document = document
+        self.rows = rows
+        self.metrics = metrics
+        self.rounds = rounds
+        self.overlay = overlay
+
+    def value_rows(self) -> set[tuple[str, ...]]:
+        """Result rows as tuples of labels/values (order-insensitive)."""
+        return self.rows.value_rows()
+
+    def to_xml(self) -> str:
+        """Serialise the full result as an XML tuple list.
+
+        Each row becomes a ``<tuple>``; element result nodes are
+        serialised with their subtree, value results are wrapped in
+        ``<value>`` elements (matching the Section 7 reply shape).
+        """
+        from ..axml.node import element, value
+        from ..axml.xmlio import serialize
+
+        results = element("results")
+        for row in self.rows:
+            row_element = element("tuple")
+            for node in row.nodes:
+                if node.is_value:
+                    row_element.append(element("value", value(node.label)))
+                else:
+                    row_element.append(node.clone())
+            results.append(row_element)
+        return serialize(results)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EvaluationOutcome({len(self.rows)} rows, {self.metrics.summary()})"
+
+
+class LazyQueryEvaluator:
+    """Evaluates tree-pattern queries over AXML documents, lazily.
+
+    Args:
+        bus: the service bus resolving and accounting invocations.
+        schema: element content models (service signatures registered on
+            the bus are merged in automatically for the typed modes).
+        config: strategy and tunables; defaults to layered parallel NFQA.
+        match_options: embedding semantics knobs.
+    """
+
+    def __init__(
+        self,
+        bus: ServiceBus,
+        schema: Optional[Schema] = None,
+        config: Optional[EngineConfig] = None,
+        match_options: Optional[MatchOptions] = None,
+    ) -> None:
+        self.bus = bus
+        self.schema = schema
+        self.config = config or EngineConfig()
+        self.match_options = match_options or MatchOptions()
+
+    # -- public API ------------------------------------------------------------
+
+    def evaluate(self, query: TreePattern, document: Document) -> EvaluationOutcome:
+        """Compute the *full result* of ``query`` over ``document``.
+
+        The document is mutated in place (calls are invoked and replaced
+        by their results); copy it first if you need the original.
+        """
+        state = _EvaluationState(self, query, document)
+        started = time.perf_counter()
+        try:
+            if self.config.strategy is Strategy.NAIVE:
+                state.run_naive()
+            else:
+                state.run_lazy()
+            rows = state.final_evaluation()
+        finally:
+            state.teardown()
+        state.metrics.analysis_wall_s = time.perf_counter() - started
+        state.finalize_metrics(rows)
+        return EvaluationOutcome(
+            query=query,
+            document=document,
+            rows=rows,
+            metrics=state.metrics,
+            rounds=state.rounds,
+            overlay=state.overlay,
+        )
+
+
+class _EvaluationState:
+    """Per-evaluation mutable state (one evaluate() call)."""
+
+    def __init__(
+        self,
+        evaluator: LazyQueryEvaluator,
+        query: TreePattern,
+        document: Document,
+    ) -> None:
+        self.evaluator = evaluator
+        self.config = evaluator.config
+        self.bus = evaluator.bus
+        self.query = query
+        self.document = document
+
+        self.metrics = Metrics(strategy=self.config.label)
+        self.rounds: list[RoundRecord] = []
+        self.match_counter = MatchCounter()
+        self.invocations = 0
+        self._log_start = len(self.bus.log.records)
+
+        self.overlay: Optional[BindingsOverlay] = (
+            BindingsOverlay()
+            if self.config.push_mode is PushMode.BINDINGS
+            else None
+        )
+        self.fguide: Optional[FGuide] = None
+        self._nodes_by_uid = {n.uid: n for n in query.nodes()}
+        self._pushed_cache: dict[int, PushedSubquery] = {}
+        self._schema = self.bus.registry.schema_with_signatures(
+            base=evaluator.schema
+        )
+        self._builder: Optional[NFQBuilder] = None
+        self._queries_by_target: dict[int, RelevanceQuery] = {}
+        self._completed_targets: set[int] = set()
+        self._position_nfas: dict[int, automata.NFA] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def teardown(self) -> None:
+        if self.fguide is not None:
+            self.fguide.detach()
+            self.fguide = None
+
+    def finalize_metrics(self, rows: MatchSet) -> None:
+        metrics = self.metrics
+        metrics.result_rows = len(rows)
+        metrics.final_document_nodes = self.document.stats().total_nodes
+        metrics.match_can_checks = self.match_counter.can_checks
+        metrics.match_candidates_visited = self.match_counter.candidates_visited
+        for record in self.bus.log.records[self._log_start :]:
+            metrics.bytes_sent += record.request_bytes
+            metrics.bytes_received += record.response_bytes
+
+    # -- strategies ------------------------------------------------------------------
+
+    def run_naive(self) -> None:
+        def invoke(call: Node) -> Optional[float]:
+            return self._invoke_call(call, target_uids=frozenset())
+
+        def on_round(times: list[float]) -> None:
+            self._account_round(times, layer_index=None, parallel=True)
+
+        invoked, completed = naive_fixpoint(
+            self.document,
+            invoke,
+            self.config.max_invocations,
+            on_round,
+        )
+        self.metrics.completed = completed
+
+    def run_lazy(self) -> None:
+        self._fire_immediate_calls()
+        queries = self._build_relevance_queries()
+        self.metrics.relevance_queries_built = len(queries)
+        self._queries_by_target = {q.target_uid: q for q in queries}
+
+        if self.config.use_fguide:
+            self.fguide = FGuide(self.document)
+
+        if self.config.speculative and self.config.parallel:
+            # "Just in case" mode (Section 4.4's remark): one pseudo-layer
+            # so every currently-relevant call everywhere fires together.
+            layers = [
+                Layer(
+                    index=0,
+                    queries=list(queries),
+                    independent={q.target_uid: True for q in queries},
+                )
+            ]
+        elif self.config.use_layers:
+            layers = compute_layers(queries)
+        else:
+            # Plain NFQA (Section 4.1): a single pseudo-layer, strictly
+            # one invocation per iteration.
+            layers = [
+                Layer(
+                    index=0,
+                    queries=list(queries),
+                    independent={q.target_uid: False for q in queries},
+                )
+            ]
+        self.metrics.layers = len(layers)
+
+        for layer in layers:
+            if not self._budget_left():
+                self.metrics.completed = False
+                break
+            self._process_layer(layer)
+            self._completed_targets |= self._absorbed_targets(layer)
+            self._rebuild_queries()
+
+    def _fire_immediate_calls(self) -> None:
+        """Invoke every IMMEDIATE-activation call (Section 1's eager
+        mode) before the lazy analysis starts, to a fixpoint."""
+        while self._budget_left():
+            eager = [
+                c
+                for c in self.document.function_nodes()
+                if c.activation is Activation.IMMEDIATE
+            ]
+            if not eager:
+                return
+            times = []
+            for call in eager:
+                if not self._budget_left():
+                    self.metrics.completed = False
+                    break
+                if not self.document.contains(call):
+                    continue
+                elapsed = self._invoke_call(call, frozenset())
+                if elapsed is not None:
+                    times.append(elapsed)
+            self._account_round(times, layer_index=None, parallel=True)
+
+    # -- relevance-query management ---------------------------------------------------
+
+    def _build_relevance_queries(self) -> list[RelevanceQuery]:
+        config = self.config
+        if config.strategy in (Strategy.TOP_DOWN, Strategy.LAZY_LPQ):
+            return linear_path_queries(self.query)
+        oracle = self._make_oracle()
+        names = None
+        if oracle is not None:
+            names = set(self.bus.registry.names())
+            names.update(call.label for call in self.document.function_nodes())
+            names.update(self._schema.function_names())
+        self._builder = NFQBuilder(
+            self.query,
+            oracle=oracle,
+            function_names=names,
+            drop_value_joins=config.drop_value_joins,
+        )
+        return self._builder.build_all(
+            dedupe=config.dedupe_relevance_queries
+        )
+
+    def _make_oracle(self) -> Optional[SatisfiabilityOracle]:
+        if self.config.typing is TypingMode.NONE:
+            return None
+        if self.config.typing is TypingMode.EXACT:
+            return ExactSatisfiability(self._schema)
+        return LenientSatisfiability(self._schema)
+
+    def _rebuild_queries(self) -> None:
+        """Regenerate remaining NFQs after a layer completed (Section 4.3
+        simplification) or after new service names appeared (Section 5)."""
+        if self._builder is None:
+            return  # LPQs depend only on the query: nothing to simplify
+        rebuilt = self._builder.build_all(
+            excluded_targets=self._completed_targets,
+            dedupe=self.config.dedupe_relevance_queries,
+        )
+        self._queries_by_target = {q.target_uid: q for q in rebuilt}
+
+    def _absorbed_targets(self, layer: Layer) -> set[int]:
+        out: set[int] = set()
+        for uid in layer.target_uids:
+            out.add(uid)
+            query = self._queries_by_target.get(uid)
+            if query is not None:
+                out |= set(query.extra_target_uids)
+        return out
+
+    def _layer_queries(self, layer: Layer) -> list[RelevanceQuery]:
+        queries = []
+        for uid in sorted(layer.target_uids):
+            query = self._queries_by_target.get(uid)
+            if query is not None:
+                queries.append(query)
+        return queries
+
+    # -- the NFQA loop -------------------------------------------------------------------
+
+    def _process_layer(self, layer: Layer) -> None:
+        config = self.config
+        while self._budget_left():
+            relevant = self._collect_relevant(layer)
+            if not relevant:
+                return
+            batch: list[tuple[Node, frozenset[int]]] = []
+            if config.parallel and config.speculative:
+                # "Just in case" parallelism (Section 4.4's remark): fire
+                # everything relevant right now, accepting that some may
+                # turn out irrelevant once siblings respond.
+                batch = [
+                    (call, targets)
+                    for _, (call, targets, _) in sorted(relevant.items())
+                ]
+            elif config.parallel:
+                # Condition (*) is per-NFQ: all calls retrieved only by
+                # independent queries of the layer can fire in parallel.
+                batch = [
+                    (call, targets)
+                    for node_id, (call, targets, retrievers) in sorted(
+                        relevant.items()
+                    )
+                    if all(layer.independent.get(uid, False) for uid in retrievers)
+                ]
+            if not batch:
+                first_id = min(relevant)
+                call, targets, _ = relevant[first_id]
+                batch = [(call, targets)]
+            times: list[float] = []
+            new_names: set[str] = set()
+            for call, target_uids in batch:
+                if not self._budget_left():
+                    self.metrics.completed = False
+                    break
+                if not self.document.contains(call):
+                    continue
+                names_before = set(self._builder.function_names) if self._builder else set()
+                elapsed = self._invoke_call(call, target_uids)
+                if elapsed is not None:
+                    times.append(elapsed)
+                if self._builder is not None:
+                    new_names |= set(self._builder.function_names) - names_before
+            self._account_round(
+                times, layer_index=layer.index, parallel=len(batch) > 1
+            )
+            if new_names:
+                self._rebuild_queries()
+        self.metrics.completed = False
+
+    def _collect_relevant(
+        self, layer: Layer
+    ) -> dict[int, tuple[Node, frozenset[int], frozenset[int]]]:
+        """Union of the calls retrieved by the layer's relevance queries.
+
+        Maps call node id to ``(call, target uids, retriever uids)`` —
+        targets drive query pushing, retrievers drive the per-query
+        independence check for parallel rounds.
+        """
+        relevant: dict[int, tuple[Node, frozenset[int], frozenset[int]]] = {}
+        for rquery in self._layer_queries(layer):
+            calls = self._retrieve(rquery)
+            self.metrics.relevance_evaluations += 1
+            for call in calls:
+                assert call.node_id is not None
+                targets = rquery.all_target_uids
+                retrievers = frozenset({rquery.target_uid})
+                existing = relevant.get(call.node_id)
+                if existing is not None:
+                    targets = existing[1] | targets
+                    retrievers = existing[2] | retrievers
+                relevant[call.node_id] = (call, targets, retrievers)
+        return relevant
+
+    def _retrieve(self, rquery: RelevanceQuery) -> list[Node]:
+        if self.fguide is not None:
+            names = rquery.output.function_names
+            candidates = self.fguide.candidates(
+                rquery.linear_steps,
+                names,
+                descendant_tail=rquery.descendant_tail,
+            )
+            self.metrics.guide_lookups += 1
+            self.metrics.guide_candidates += len(candidates)
+            if not candidates:
+                return []
+            matcher = Matcher(
+                rquery.pattern,
+                options=self.evaluator.match_options,
+                counter=self.match_counter,
+                overlay=self.overlay,
+            )
+            return [
+                call
+                for call in candidates
+                if call.activation is not Activation.FROZEN
+                and _verify_candidate(rquery, call, matcher)
+            ]
+        matcher = Matcher(
+            rquery.pattern,
+            options=self.evaluator.match_options,
+            counter=self.match_counter,
+            overlay=self.overlay,
+        )
+        return [
+            call
+            for call in matcher.evaluate(self.document).distinct_nodes()
+            if call.activation is not Activation.FROZEN
+        ]
+
+    # -- invocation --------------------------------------------------------------------------
+
+    def _budget_left(self) -> bool:
+        return (
+            self.invocations < self.config.max_invocations
+            and self.metrics.invocation_rounds < self.config.max_rounds
+        )
+
+    def _invoke_call(
+        self, call: Node, target_uids: frozenset[int]
+    ) -> Optional[float]:
+        pushed: Optional[PushedSubquery] = None
+        push_mode = PushMode.NONE
+        if (
+            self.config.push_mode is not PushMode.NONE
+            and len(target_uids) == 1
+            and self._push_is_safe(call, next(iter(target_uids)))
+        ):
+            (uid,) = target_uids
+            pushed = self._pushed_for(uid)
+            if pushed is not None:
+                push_mode = self.config.push_mode
+                if push_mode is PushMode.BINDINGS and not pushed.bindable:
+                    push_mode = PushMode.FILTERED
+
+        if self.config.validate_io:
+            self._check_io(self._schema.validate_node(call))
+
+        parent = call.parent
+        try:
+            reply, record = self.bus.invoke(
+                call.label,
+                call.children,
+                call_node_id=call.node_id,
+                pushed=pushed.pattern if pushed and push_mode is not PushMode.NONE else None,
+                push_mode=push_mode,
+                anchor_edge=pushed.anchor_edge if pushed else EdgeKind.CHILD,
+            )
+        except ServiceFault:
+            if self.config.fault_policy is FaultPolicy.RAISE:
+                raise
+            self.metrics.faults += 1
+            self.document.replace_call(call, [])
+            self.invocations += 1
+            self.metrics.calls_invoked += 1
+            return None
+
+        if self.config.validate_io and reply.push_mode is PushMode.NONE:
+            # Pushed replies are legitimately pruned below the output
+            # type, so only plain replies are checked against it.
+            self._check_io(self._schema.validate_output(call.label, reply.forest))
+
+        new_calls = self.document.replace_call(call, reply.forest)
+        self.invocations += 1
+        self.metrics.calls_invoked += 1
+        self.metrics.nodes_materialized += sum(
+            tree.subtree_size() for tree in reply.forest
+        )
+        if reply.is_bindings and self.overlay is not None and pushed is not None:
+            assert parent is not None
+            self.overlay.add(parent, pushed, reply.bindings or [])
+        if self._builder is not None and new_calls:
+            self._builder.add_function_names(c.label for c in new_calls)
+        return record.simulated_time_s
+
+    def _check_io(self, errors: list[str]) -> None:
+        """Handle parameter/output type violations per the fault policy."""
+        if not errors:
+            return
+        if self.config.fault_policy is FaultPolicy.RAISE:
+            raise SchemaError("; ".join(errors))
+        self.metrics.io_violations += len(errors)
+
+    def _push_is_safe(self, call: Node, target_uid: int) -> bool:
+        """May the call's full result matter to any *other* query node?
+
+        Pushing ``sub_q_v`` prunes the reply down to what node ``v``
+        needs; that is only safe when no other relevance query could
+        retrieve a call at this position (otherwise the pruned data
+        might have served that other query node).  The check is a word
+        membership test against the other queries' position languages.
+        """
+        position = call_position(call)
+        for uid, rquery in self._queries_by_target.items():
+            if uid == target_uid:
+                continue
+            nfa = self._position_nfas.get(uid)
+            if nfa is None:
+                nfa = automata.from_linear_steps(
+                    list(rquery.linear_steps),
+                    descendant_tail=rquery.descendant_tail,
+                )
+                self._position_nfas[uid] = nfa
+            if nfa.accepts(position):
+                return False
+        return True
+
+    def _pushed_for(self, target_uid: int) -> Optional[PushedSubquery]:
+        pushed = self._pushed_cache.get(target_uid)
+        if pushed is None:
+            target = self._nodes_by_uid.get(target_uid)
+            if target is None:
+                return None
+            pushed = pushed_subquery_for(self.query, target)
+            self._pushed_cache[target_uid] = pushed
+        return pushed
+
+    def _account_round(
+        self, times: list[float], layer_index: Optional[int], parallel: bool
+    ) -> None:
+        if not times:
+            return
+        self.metrics.invocation_rounds += 1
+        self.metrics.simulated_sequential_s += sum(times)
+        self.metrics.simulated_parallel_s += max(times) if parallel else sum(times)
+        self.rounds.append(
+            RoundRecord(
+                layer_index=layer_index,
+                calls=tuple(f"{t:.4f}" for t in times),
+                parallel=parallel,
+                simulated_time_s=max(times) if parallel else sum(times),
+            )
+        )
+
+    # -- final evaluation -----------------------------------------------------------------------
+
+    def final_evaluation(self) -> MatchSet:
+        matcher = Matcher(
+            self.query,
+            options=self.evaluator.match_options,
+            counter=self.match_counter,
+            overlay=self.overlay,
+        )
+        return matcher.evaluate(self.document)
+
+
+# -- F-guide residual verification (Section 6.2, "NFQ filtering") ------------------
+
+
+def _verify_candidate(
+    rquery: RelevanceQuery, candidate: Node, matcher: Matcher
+) -> bool:
+    """Check the non-linear conditions of an NFQ for one guide candidate.
+
+    The guide guaranteed the candidate's *position* matches
+    ``q_v^lin``; what remains is to align the NFQ's spine with the
+    candidate's ancestor chain and check every condition branch at the
+    aligned nodes (boolean semantics — value joins are ignored, the safe
+    approximation of Section 6).
+    """
+    if rquery.output.function_names is not None:
+        if candidate.label not in rquery.output.function_names:
+            return False
+    spine = rquery.pattern.spine_nodes(rquery.output)
+    chain = spine[:-1]  # the data nodes above the output
+    ancestors = [candidate]
+    ancestors.extend(candidate.iter_ancestors())
+    ancestors.reverse()
+    ancestors = ancestors[:-1]  # drop the candidate itself
+    if not chain or not ancestors:
+        return not chain
+
+    spine_uids = {node.uid for node in spine}
+
+    def conditions_hold(pnode: PatternNode, dnode: Node) -> bool:
+        if not matcher.node_test(pnode, dnode):
+            return False
+        for child in pnode.children:
+            if child.uid in spine_uids:
+                continue
+            if not matcher.condition_holds(child, dnode):
+                return False
+        return True
+
+    def align(pi: int, di: int) -> bool:
+        if not conditions_hold(chain[pi], ancestors[di]):
+            return False
+        if pi == len(chain) - 1:
+            # The output hangs off chain[-1]: for a child edge the
+            # aligned ancestor must be the candidate's parent; for a
+            # descendant edge any proper ancestor works.
+            if rquery.output.edge is EdgeKind.CHILD:
+                return di == len(ancestors) - 1
+            return True
+        nxt = chain[pi + 1]
+        if nxt.edge is EdgeKind.CHILD:
+            return di + 1 < len(ancestors) and align(pi + 1, di + 1)
+        return any(align(pi + 1, dj) for dj in range(di + 1, len(ancestors)))
+
+    return align(0, 0)

@@ -1,0 +1,164 @@
+"""NFQ layers (Section 4.3).
+
+Let ``⇒*`` be the transitive closure of *may influence* and ``≈`` the
+equivalence ``q ≈ q'`` iff ``q ⇒* q'`` and ``q' ⇒* q``.  Layers are the
+equivalence classes of ``≈`` — i.e. the strongly connected components of
+the may-influence digraph — and ``⇒*`` induces a partial order between
+them, completed here into a total order (a topological order of the
+condensation, ties broken by smallest target uid for determinism).
+
+Layers are processed in increasing order; inside a layer the NFQA loop
+runs until no more calls are found, and once a layer is done the
+function alternatives it owned can be removed from the remaining NFQs
+(the paper's per-layer simplification): no earlier-or-equal layer can
+put new calls at those positions anymore.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from .influence import InfluenceAnalyzer
+from .relevance import RelevanceQuery
+
+
+@dataclasses.dataclass
+class Layer:
+    """One equivalence class of NFQs, with per-query parallelism flags."""
+
+    index: int
+    queries: list[RelevanceQuery]
+    independent: dict[int, bool]
+    """target uid -> does condition (*) hold for that query?"""
+
+    @property
+    def target_uids(self) -> frozenset[int]:
+        return frozenset(q.target_uid for q in self.queries)
+
+    @property
+    def fully_parallel(self) -> bool:
+        """Can every query of the layer fire its calls in parallel?"""
+        return all(self.independent.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Layer({self.index}, {[q.name for q in self.queries]})"
+
+
+def compute_layers(
+    queries: Sequence[RelevanceQuery],
+    analyzer: InfluenceAnalyzer | None = None,
+) -> list[Layer]:
+    """Split relevance queries into totally ordered layers."""
+    queries = list(queries)
+    if not queries:
+        return []
+    analyzer = analyzer or InfluenceAnalyzer(queries)
+    edges = analyzer.influence_edges()
+    components = _strongly_connected_components(edges)
+    order = _topological_component_order(edges, components)
+
+    by_uid = {q.target_uid: q for q in queries}
+    layers: list[Layer] = []
+    for index, component in enumerate(order):
+        members = [by_uid[uid] for uid in sorted(component)]
+        independent = {
+            q.target_uid: analyzer.is_independent(q, members) for q in members
+        }
+        layers.append(Layer(index=index, queries=members, independent=independent))
+    return layers
+
+
+# -- graph machinery ---------------------------------------------------------------
+
+
+def _strongly_connected_components(
+    edges: dict[int, set[int]]
+) -> list[frozenset[int]]:
+    """Tarjan's algorithm, iterative (no recursion-depth surprises)."""
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[frozenset[int]] = []
+    counter = 0
+
+    for root in edges:
+        if root in index_of:
+            continue
+        work: list[tuple[int, list[int], int]] = [(root, sorted(edges[root]), 0)]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors, cursor = work.pop()
+            advanced = False
+            while cursor < len(successors):
+                succ = successors[cursor]
+                cursor += 1
+                if succ not in index_of:
+                    work.append((node, successors, cursor))
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, sorted(edges[succ]), 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def _topological_component_order(
+    edges: dict[int, set[int]], components: list[frozenset[int]]
+) -> list[frozenset[int]]:
+    """Total order of components compatible with the influence order."""
+    component_of: dict[int, int] = {}
+    for ci, component in enumerate(components):
+        for uid in component:
+            component_of[uid] = ci
+
+    successors: dict[int, set[int]] = {ci: set() for ci in range(len(components))}
+    indegree = {ci: 0 for ci in range(len(components))}
+    for src, sinks in edges.items():
+        for sink in sinks:
+            a, b = component_of[src], component_of[sink]
+            if a != b and b not in successors[a]:
+                successors[a].add(b)
+                indegree[b] += 1
+
+    # Kahn with deterministic tie-breaking on the smallest member uid.
+    ready = sorted(
+        (ci for ci, deg in indegree.items() if deg == 0),
+        key=lambda ci: min(components[ci]),
+    )
+    order: list[frozenset[int]] = []
+    while ready:
+        current = ready.pop(0)
+        order.append(components[current])
+        freed = []
+        for nxt in successors[current]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                freed.append(nxt)
+        ready.extend(freed)
+        ready.sort(key=lambda ci: min(components[ci]))
+    if len(order) != len(components):
+        raise AssertionError("influence condensation is not a DAG")
+    return order

@@ -1,0 +1,84 @@
+"""Evaluation metrics reported by the engine and the experiments."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass
+class Metrics:
+    """Everything the Section 8 style experiments report on.
+
+    Times:
+        * ``analysis_wall_s`` — real time spent in relevance analysis and
+          final query evaluation (the local CPU cost of being lazy);
+        * ``simulated_sequential_s`` — total simulated service time if
+          calls fire one after the other;
+        * ``simulated_parallel_s`` — simulated service time when each
+          invocation round fires in parallel (Section 4.4): the sum over
+          rounds of the slowest call of the round;
+        * ``total_time_s`` / ``total_time_parallel_s`` — analysis plus
+          service time, the headline numbers of experiment E1.
+    """
+
+    strategy: str = ""
+    completed: bool = True
+
+    calls_invoked: int = 0
+    invocation_rounds: int = 0
+    relevance_evaluations: int = 0
+    guide_lookups: int = 0
+    guide_candidates: int = 0
+    relevance_queries_built: int = 0
+    layers: int = 0
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    nodes_materialized: int = 0
+    final_document_nodes: int = 0
+    result_rows: int = 0
+    faults: int = 0
+    io_violations: int = 0
+
+    analysis_wall_s: float = 0.0
+    simulated_sequential_s: float = 0.0
+    simulated_parallel_s: float = 0.0
+
+    match_can_checks: int = 0
+    match_candidates_visited: int = 0
+
+    @property
+    def total_time_s(self) -> float:
+        return self.analysis_wall_s + self.simulated_sequential_s
+
+    @property
+    def total_time_parallel_s(self) -> float:
+        return self.analysis_wall_s + self.simulated_parallel_s
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    def summary(self) -> str:
+        return (
+            f"[{self.strategy}] calls={self.calls_invoked} "
+            f"rounds={self.invocation_rounds} "
+            f"rel-evals={self.relevance_evaluations} "
+            f"bytes={self.total_bytes} "
+            f"time={self.total_time_s:.3f}s "
+            f"(par {self.total_time_parallel_s:.3f}s, "
+            f"analysis {self.analysis_wall_s:.3f}s) "
+            f"rows={self.result_rows}"
+        )
+
+
+@dataclasses.dataclass
+class RoundRecord:
+    """One invocation round (for debugging and the E5 experiment)."""
+
+    layer_index: Optional[int]
+    calls: tuple[str, ...]
+    parallel: bool
+    simulated_time_s: float

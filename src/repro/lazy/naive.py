@@ -1,0 +1,67 @@
+"""Baseline strategies: naive materialisation and top-down traversal.
+
+Section 1 rules out two simpler designs that our experiments must still
+quantify:
+
+* the **naive** approach "consists in invoking all the calls in the
+  document recursively, until a fixpoint is reached, and finally running
+  the query over the resulting document";
+* the **top-down** approach interleaves query traversal and invocation:
+  only calls on paths traversed by the query fire, but the processor
+  "would either have to be blocked waiting for call responses, or would
+  have to be restarted several times to account for the document
+  growth".
+
+The naive driver lives here; the top-down baseline is realised inside
+the engine as the LPQ strategy restricted to one sequential call per
+round with full re-evaluation (restart) in between — the paper itself
+notes the traversed-subtree criterion coincides with path relevance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..axml.document import Document
+from ..axml.node import Activation, Node
+
+InvokeFn = Callable[[Node], Optional[float]]
+"""Invoke one call; returns its simulated time (None when skipped)."""
+
+
+def naive_fixpoint(
+    document: Document,
+    invoke: InvokeFn,
+    max_invocations: int,
+    on_round: Callable[[list[float]], None],
+) -> tuple[int, bool]:
+    """Invoke every embedded call, recursively, until none remain.
+
+    Calls of one sweep are treated as one (parallelisable) round;
+    ``on_round`` receives the simulated times of the round.  Returns
+    ``(invocations, completed)`` — ``completed`` is False when the
+    invocation budget ran out first (AXML documents may be infinite,
+    Section 2).
+    """
+    invocations = 0
+    while True:
+        calls = [
+            c
+            for c in document.function_nodes()
+            if c.activation is not Activation.FROZEN
+        ]
+        if not calls:
+            return invocations, True
+        times: list[float] = []
+        for call in calls:
+            if invocations >= max_invocations:
+                if times:
+                    on_round(times)
+                return invocations, False
+            if not document.contains(call):
+                continue  # consumed as a parameter of an outer call
+            elapsed = invoke(call)
+            invocations += 1
+            if elapsed is not None:
+                times.append(elapsed)
+        on_round(times)

@@ -1,0 +1,144 @@
+"""Query pushing (Section 7).
+
+Even a relevant call may return far more data than the query needs, so
+the engine can ship a subquery along with the invocation.  This module
+answers the two questions the paper poses:
+
+* **Which subquery to push over a call?**  The call was retrieved by the
+  NFQ ``q_v`` of some node ``v``; the subquery is exactly ``sub_q_v``,
+  the subtree of the user query rooted at ``v`` — with every variable
+  marked as a result node so that value joins with the rest of the query
+  survive the trip.
+
+* **How to use the results?**  A *filtered-forest* reply is spliced into
+  the document like any call result.  A *bindings* reply ("X,Y binding
+  pairs … and not restaurant elements") is recorded in a
+  :class:`BindingsOverlay`: a side table mapping
+  ``(position, query node v)`` to binding tuples, which the matcher
+  consults during both later relevance evaluation and the final query
+  evaluation — a row counts as a ready-made embedding of ``sub_q_v`` at
+  that position.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..axml.node import Node, value
+from ..pattern.nodes import EdgeKind, PatternNode
+from ..pattern.pattern import TreePattern
+from ..services.service import BindingRow
+
+
+@dataclasses.dataclass(frozen=True)
+class PushedSubquery:
+    """A subquery ready to ship with a call."""
+
+    target_uid: int
+    """uid of ``v`` in the original user query."""
+    pattern: TreePattern
+    """``sub_q_v`` with all variables marked as result nodes."""
+    anchor_edge: EdgeKind
+    """how ``v`` hangs in the query: child = result roots only,
+    descendant = anywhere inside the result."""
+    bindable: bool
+    """True when every result node is a variable, so the bindings
+    protocol can represent complete answers."""
+
+
+def pushed_subquery_for(query: TreePattern, target: PatternNode) -> PushedSubquery:
+    """Compute the subquery to push for calls retrieved by ``q_v``."""
+    sub = query.subtree_at(target, name=f"push@{target.uid}:{query.name}")
+    for node in sub.nodes():
+        if node.is_variable:
+            node.is_result = True
+    bindable = all(node.is_variable for node in sub.result_nodes())
+    return PushedSubquery(
+        target_uid=target.uid,
+        pattern=sub,
+        anchor_edge=target.edge,
+        bindable=bindable,
+    )
+
+
+class OverlayRow:
+    """One remote binding tuple, with synthetic nodes for result slots."""
+
+    __slots__ = ("bindings", "nodes_by_uid")
+
+    def __init__(
+        self, bindings: dict[str, str], nodes_by_uid: dict[int, Node]
+    ) -> None:
+        self.bindings = bindings
+        self.nodes_by_uid = nodes_by_uid
+
+    def merge_env(self, env: dict[str, str]) -> Optional[dict[str, str]]:
+        """Join the row's bindings into an embedding environment."""
+        merged = env
+        fresh = False
+        for name, val in self.bindings.items():
+            bound = merged.get(name)
+            if bound is None:
+                if not fresh:
+                    merged = dict(merged)
+                    fresh = True
+                merged[name] = val
+            elif bound != val:
+                return None
+        return merged
+
+
+class BindingsOverlay:
+    """Side table of pushed-bindings replies, consulted by the matcher."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, int], list[OverlayRow]] = {}
+        self.row_count = 0
+
+    def add(
+        self,
+        position_node: Node,
+        pushed: PushedSubquery,
+        rows: list[BindingRow],
+    ) -> None:
+        """Record a bindings reply received at a call position.
+
+        ``position_node`` is the (still live) parent element the call was
+        removed from — the exact position the reply stands for.
+        """
+        result_nodes = pushed.pattern.result_nodes()
+        overlay_rows = []
+        for row in rows:
+            values = row.as_dict()
+            nodes_by_uid: dict[int, Node] = {}
+            for rnode in result_nodes:
+                origin = rnode.origin if rnode.origin is not None else rnode.uid
+                bound = values.get(rnode.label)
+                if bound is None:
+                    continue
+                nodes_by_uid[origin] = value(bound)
+            overlay_rows.append(OverlayRow(values, nodes_by_uid))
+        key = (id(position_node), pushed.target_uid)
+        self._entries.setdefault(key, []).extend(overlay_rows)
+        self.row_count += len(overlay_rows)
+
+    def lookup(self, dnode: Node, pnode: PatternNode) -> list[OverlayRow]:
+        """Rows standing for embeddings of the subtree at ``pnode`` when
+        its parent pattern node is matched at ``dnode``."""
+        origin = pnode.origin if pnode.origin is not None else pnode.uid
+        direct = self._entries.get((id(dnode), origin))
+        if direct:
+            return direct
+        if pnode.is_or:
+            out: list[OverlayRow] = []
+            for alt in pnode.children:
+                out.extend(self.lookup(dnode, alt))
+            return out
+        return []
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BindingsOverlay(entries={len(self._entries)}, rows={self.row_count})"

@@ -1,0 +1,96 @@
+"""Side-by-side strategy comparisons, as the experiments print them.
+
+A convenience for users (and the example scripts): evaluate the same
+query under several configurations over fresh copies of a document and
+render an aligned table of the metrics the paper reports on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+from ..axml.document import Document
+from ..pattern.pattern import TreePattern
+from ..schema.schema import Schema
+from ..services.registry import ServiceBus
+from .config import EngineConfig
+from .engine import EvaluationOutcome, LazyQueryEvaluator
+
+
+@dataclasses.dataclass
+class ComparisonRow:
+    """One strategy's outcome in a comparison."""
+
+    label: str
+    outcome: EvaluationOutcome
+
+    def cells(self) -> tuple:
+        m = self.outcome.metrics
+        return (
+            self.label,
+            m.calls_invoked,
+            m.invocation_rounds,
+            m.relevance_evaluations,
+            m.total_bytes,
+            round(m.total_time_s, 3),
+            round(m.total_time_parallel_s, 3),
+            m.result_rows,
+        )
+
+
+HEADERS = (
+    "strategy",
+    "calls",
+    "rounds",
+    "rel-evals",
+    "bytes",
+    "time_s",
+    "time_par_s",
+    "rows",
+)
+
+
+def compare_strategies(
+    configs: Sequence[EngineConfig],
+    query: TreePattern,
+    document_factory: Callable[[], Document],
+    bus_factory: Callable[[], ServiceBus],
+    schema: Optional[Schema] = None,
+) -> list[ComparisonRow]:
+    """Evaluate ``query`` under each config over fresh documents.
+
+    Factories (rather than instances) keep the runs independent: each
+    configuration gets its own document copy and its own invocation
+    log.  Raises if the configurations disagree on the result — they
+    never should (the system's core invariant).
+    """
+    rows: list[ComparisonRow] = []
+    reference: Optional[set] = None
+    for config in configs:
+        engine = LazyQueryEvaluator(bus_factory(), schema=schema, config=config)
+        outcome = engine.evaluate(query, document_factory())
+        if reference is None:
+            reference = outcome.value_rows()
+        elif outcome.value_rows() != reference:
+            raise AssertionError(
+                f"strategy {config.label!r} disagrees on the result "
+                f"({len(outcome.value_rows())} vs {len(reference)} rows)"
+            )
+        rows.append(ComparisonRow(label=config.label, outcome=outcome))
+    return rows
+
+
+def format_comparison(rows: Sequence[ComparisonRow], title: str = "") -> str:
+    """Render comparison rows as an aligned plain-text table."""
+    table = [HEADERS] + [tuple(str(c) for c in row.cells()) for row in rows]
+    widths = [max(len(line[i]) for line in table) for i in range(len(HEADERS))]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    header = "  ".join(h.ljust(w) for h, w in zip(HEADERS, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in table[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,433 @@
+"""Query embeddings: evaluating tree patterns over AXML trees.
+
+Implements Definition 1 of the paper — an embedding is a tree
+homomorphism from the pattern to the document mapping the pattern root to
+the document root, preserving parent-child (child edges) and
+ancestor-descendant (descendant edges) relationships, with consistent
+variable bindings.  The *snapshot result* of a query is the set of
+restrictions of all embeddings to the result nodes.
+
+Extended patterns (Section 2's "some useful machinery") are evaluated
+natively: an OR node matches when one of its alternatives does, and
+function pattern nodes map to function nodes of the document.
+
+Performance notes — the matcher is exercised on tens of thousands of
+document nodes by the benchmarks, so it works in two phases:
+
+1. a memoised boolean ``can-match`` pass (ignoring variable consistency,
+   a sound necessary condition), including a memoised
+   ``exists-below`` relation so descendant edges cost ``O(|q|·|d|)``;
+2. enumeration of embeddings, threaded through only the pattern branches
+   that contain variables or result nodes — purely boolean branches are
+   answered by phase 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Optional, Protocol
+
+from ..axml.document import Document
+from ..axml.node import Node
+from .nodes import EdgeKind, PatternKind, PatternNode
+from .pattern import TreePattern
+
+
+class OverlayLike(Protocol):
+    """Duck type of :class:`repro.lazy.pushing.BindingsOverlay`.
+
+    Pushed-bindings replies (Section 7) are embeddings that exist only
+    as remote tuples; the matcher consults the overlay wherever a
+    pattern child could be satisfied by such a reply instead of by
+    document nodes.
+    """
+
+    def lookup(self, dnode: Node, pnode: PatternNode) -> list:
+        ...
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchOptions:
+    """Tunables for the embedding semantics.
+
+    Attributes:
+        descend_into_parameters: whether descendant steps may traverse
+            *into* the parameter subtrees of function nodes.  The paper
+            treats parameters as arguments to be shipped to the service,
+            not as document content, so the default is ``False`` (the
+            function node itself is still visible, which is what the
+            relevance queries need).
+    """
+
+    descend_into_parameters: bool = False
+
+
+class MatchCounter:
+    """Work counters, used by the experiments to report matcher effort."""
+
+    __slots__ = ("can_checks", "candidates_visited", "embeddings_found", "evaluations")
+
+    def __init__(self) -> None:
+        self.can_checks = 0
+        self.candidates_visited = 0
+        self.embeddings_found = 0
+        self.evaluations = 0
+
+    def merge(self, other: "MatchCounter") -> None:
+        self.can_checks += other.can_checks
+        self.candidates_visited += other.candidates_visited
+        self.embeddings_found += other.embeddings_found
+        self.evaluations += other.evaluations
+
+
+@dataclasses.dataclass(frozen=True)
+class ResultRow:
+    """One element of a snapshot result.
+
+    ``nodes`` is aligned with ``pattern.result_nodes()`` order;
+    ``bindings`` holds every variable binding of the witnessing
+    embedding, sorted by variable name.
+    """
+
+    nodes: tuple[Node, ...]
+    bindings: tuple[tuple[str, str], ...]
+
+    def binding(self, variable: str) -> Optional[str]:
+        for name, value in self.bindings:
+            if name == variable:
+                return value
+        return None
+
+    def values(self) -> tuple[str, ...]:
+        """The labels of the result nodes (values for leaf matches)."""
+        return tuple(node.label for node in self.nodes)
+
+
+class MatchSet:
+    """The snapshot result ``q(d)`` of a pattern over a tree."""
+
+    def __init__(self, pattern: TreePattern, rows: list[ResultRow]) -> None:
+        self.pattern = pattern
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def distinct_nodes(self, position: int = 0) -> list[Node]:
+        """Distinct document nodes bound at one result position."""
+        seen: dict[int, Node] = {}
+        for row in self.rows:
+            node = row.nodes[position]
+            seen.setdefault(id(node), node)
+        return list(seen.values())
+
+    def value_rows(self) -> set[tuple[str, ...]]:
+        """Result rows as label tuples — handy for equality in tests."""
+        return {row.values() for row in self.rows}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MatchSet({len(self.rows)} rows of {self.pattern.name!r})"
+
+
+class Matcher:
+    """Evaluates one pattern over trees; reusable across documents."""
+
+    def __init__(
+        self,
+        pattern: TreePattern,
+        options: Optional[MatchOptions] = None,
+        counter: Optional[MatchCounter] = None,
+        overlay: Optional["OverlayLike"] = None,
+    ) -> None:
+        self.pattern = pattern
+        self.options = options or MatchOptions()
+        self.counter = counter or MatchCounter()
+        self.overlay = overlay
+        self._result_nodes = pattern.result_nodes()
+        self._needs_enum: dict[int, bool] = {}
+        self._compute_needs_enum(pattern.root)
+        self._can_memo: dict[tuple[int, int], bool] = {}
+        self._below_memo: dict[tuple[int, int], bool] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def evaluate(self, document: Document) -> MatchSet:
+        """Snapshot result over a document (root maps to root)."""
+        return self.evaluate_at(document.root)
+
+    def evaluate_at(self, root: Node) -> MatchSet:
+        """Snapshot result with the pattern root mapped to ``root``."""
+        self._reset_memos()
+        self.counter.evaluations += 1
+        rows: dict[tuple[int, ...], ResultRow] = {}
+        for env, assigns in self._embed(self.pattern.root, root, {}):
+            self._record_row(rows, env, assigns)
+        return MatchSet(self.pattern, list(rows.values()))
+
+    def evaluate_forest(
+        self, forest: Iterable[Node], anchor_edge: EdgeKind = EdgeKind.CHILD
+    ) -> MatchSet:
+        """Snapshot result over a detached forest.
+
+        The pattern root may map to any tree root of the forest (child
+        anchoring) or to any node of the forest (descendant anchoring).
+        This is how services evaluate pushed subqueries over their own
+        results (Section 7): the result forest is spliced in at exactly
+        the position the pushed pattern's root would occupy.
+        """
+        self._reset_memos()
+        self.counter.evaluations += 1
+        rows: dict[tuple[int, ...], ResultRow] = {}
+        for tree in forest:
+            anchors: Iterable[Node]
+            if anchor_edge is EdgeKind.CHILD:
+                anchors = (tree,)
+            else:
+                anchors = tree.iter_subtree()
+            for anchor in anchors:
+                for env, assigns in self._embed(self.pattern.root, anchor, {}):
+                    self._record_row(rows, env, assigns)
+        return MatchSet(self.pattern, list(rows.values()))
+
+    def has_embedding(self, root: Node) -> bool:
+        """Does at least one embedding exist? (phase-1 check + variables)."""
+        self._reset_memos()
+        self.counter.evaluations += 1
+        for _ in self._embed(self.pattern.root, root, {}):
+            return True
+        return False
+
+    # -- building-block queries (used by the F-guide residual filter) ----------
+
+    def reset(self) -> None:
+        """Drop memo tables (call between evaluations on a mutated doc)."""
+        self._reset_memos()
+
+    def node_test(self, pnode: PatternNode, dnode: Node) -> bool:
+        """Does the node-level test of ``pnode`` accept ``dnode``?"""
+        if pnode.is_or:
+            return any(self.node_test(alt, dnode) for alt in pnode.children)
+        return self._label_matches(pnode, dnode)
+
+    def condition_holds(self, pnode: PatternNode, dnode: Node) -> bool:
+        """Can the child condition ``pnode`` be satisfied under ``dnode``?
+
+        Boolean semantics only (value joins across branches are ignored
+        — the sound approximation Section 6 uses for residual NFQ
+        filtering on guide candidates).
+        """
+        return self._child_possible(pnode, dnode)
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _reset_memos(self) -> None:
+        self._can_memo.clear()
+        self._below_memo.clear()
+
+    def _record_row(
+        self,
+        rows: dict[tuple[int, ...], ResultRow],
+        env: dict[str, str],
+        assigns: tuple[tuple[int, Node], ...],
+    ) -> None:
+        by_uid = dict(assigns)
+        nodes = tuple(by_uid[r.uid] for r in self._result_nodes if r.uid in by_uid)
+        if len(nodes) != len(self._result_nodes):
+            # An OR branch hid some result node: skip incomplete rows.
+            # (Relevance queries mark exactly one node, which is always
+            # outside OR alternatives, so this never triggers for them.)
+            return
+        key = tuple(id(n) for n in nodes)
+        if key not in rows:
+            self.counter.embeddings_found += 1
+            rows[key] = ResultRow(
+                nodes=nodes, bindings=tuple(sorted(env.items()))
+            )
+
+    def _compute_needs_enum(self, node: PatternNode) -> bool:
+        needed = node.is_result or node.is_variable
+        for child in node.children:
+            needed = self._compute_needs_enum(child) or needed
+        self._needs_enum[node.uid] = needed
+        return needed
+
+    # -- phase 1: boolean reachability ---------------------------------------------
+
+    def _label_matches(self, pnode: PatternNode, dnode: Node) -> bool:
+        kind = pnode.kind
+        if kind is PatternKind.ELEMENT:
+            return dnode.is_element and dnode.label == pnode.label
+        if kind is PatternKind.VALUE:
+            return dnode.is_value and dnode.label == pnode.label
+        if kind is PatternKind.VARIABLE or kind is PatternKind.STAR:
+            return dnode.is_data
+        if kind is PatternKind.FUNCTION:
+            if not dnode.is_function:
+                return False
+            names = pnode.function_names
+            return names is None or dnode.label in names
+        raise AssertionError(f"unexpected pattern kind {kind}")
+
+    def _can(self, pnode: PatternNode, dnode: Node) -> bool:
+        key = (pnode.uid, id(dnode))
+        cached = self._can_memo.get(key)
+        if cached is not None:
+            return cached
+        self.counter.can_checks += 1
+        if pnode.is_or:
+            outcome = any(self._can(alt, dnode) for alt in pnode.children)
+        elif not self._label_matches(pnode, dnode):
+            outcome = False
+        else:
+            outcome = all(
+                self._child_possible(child, dnode) for child in pnode.children
+            )
+        self._can_memo[key] = outcome
+        return outcome
+
+    def _child_possible(self, child: PatternNode, dnode: Node) -> bool:
+        if self.overlay is not None and self.overlay.lookup(dnode, child):
+            return True
+        if child.edge is EdgeKind.CHILD:
+            return any(self._can(child, cand) for cand in dnode.children)
+        return self._exists_below(child, dnode)
+
+    def _exists_below(self, pnode: PatternNode, dnode: Node) -> bool:
+        """Is there a match for ``pnode`` strictly below ``dnode``?
+
+        Iterative DFS (documents can be deeper than the recursion
+        limit) with memoisation: on a negative outcome every fully
+        explored interior node is negative too.
+        """
+        memo = self._below_memo
+        uid = pnode.uid
+        key = (uid, id(dnode))
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        descend_into_params = self.options.descend_into_parameters
+        found = False
+        explored: list[tuple[int, int]] = []
+        stack = list(dnode.children)
+        while stack:
+            node = stack.pop()
+            if self._can(pnode, node):
+                found = True
+                break
+            if node.is_function and not descend_into_params:
+                continue
+            node_key = (uid, id(node))
+            sub = memo.get(node_key)
+            if sub is True:
+                found = True
+                break
+            if sub is False:
+                continue
+            explored.append(node_key)
+            stack.extend(node.children)
+        if not found:
+            for node_key in explored:
+                memo[node_key] = False
+        memo[key] = found
+        return found
+
+    # -- phase 2: enumeration ------------------------------------------------------------
+
+    def _candidates(self, dnode: Node, edge: EdgeKind) -> Iterator[Node]:
+        if edge is EdgeKind.CHILD:
+            yield from dnode.children
+            return
+        stack = list(reversed(dnode.children))
+        while stack:
+            node = stack.pop()
+            self.counter.candidates_visited += 1
+            yield node
+            if node.is_function and not self.options.descend_into_parameters:
+                continue
+            stack.extend(reversed(node.children))
+
+    def _embed(
+        self, pnode: PatternNode, dnode: Node, env: dict[str, str]
+    ) -> Iterator[tuple[dict[str, str], tuple[tuple[int, Node], ...]]]:
+        if pnode.is_or:
+            for alt in pnode.children:
+                yield from self._embed(alt, dnode, env)
+            return
+        if not self._can(pnode, dnode):
+            return
+        if pnode.is_variable:
+            bound = env.get(pnode.label)
+            if bound is not None:
+                if bound != dnode.label:
+                    return
+            else:
+                env = {**env, pnode.label: dnode.label}
+
+        assigns: tuple[tuple[int, Node], ...] = ()
+        if pnode.is_result:
+            assigns = ((pnode.uid, dnode),)
+
+        enum_children = [
+            c for c in pnode.children if self._needs_enum[c.uid]
+        ]
+        # Purely boolean children were already verified by _can(pnode,.).
+        yield from self._combine(enum_children, 0, dnode, env, assigns)
+
+    def _combine(
+        self,
+        enum_children: list[PatternNode],
+        index: int,
+        dnode: Node,
+        env: dict[str, str],
+        assigns: tuple[tuple[int, Node], ...],
+    ) -> Iterator[tuple[dict[str, str], tuple[tuple[int, Node], ...]]]:
+        if index == len(enum_children):
+            yield env, assigns
+            return
+        child = enum_children[index]
+        for cand in self._candidates(dnode, child.edge):
+            if not self._quick_filter(child, cand):
+                continue
+            for env2, a2 in self._embed(child, cand, env):
+                yield from self._combine(
+                    enum_children, index + 1, dnode, env2, assigns + a2
+                )
+        if self.overlay is not None:
+            for row in self.overlay.lookup(dnode, child):
+                env2 = row.merge_env(env)
+                if env2 is None:
+                    continue
+                extra = tuple(
+                    (uid, node) for uid, node in row.nodes_by_uid.items()
+                )
+                yield from self._combine(
+                    enum_children, index + 1, dnode, env2, assigns + extra
+                )
+
+    def _quick_filter(self, pnode: PatternNode, dnode: Node) -> bool:
+        if pnode.is_or:
+            return any(self._can(alt, dnode) for alt in pnode.children)
+        return self._can(pnode, dnode)
+
+
+# -- module-level conveniences ---------------------------------------------------
+
+
+def snapshot_result(
+    pattern: TreePattern,
+    document: Document,
+    options: Optional[MatchOptions] = None,
+    counter: Optional[MatchCounter] = None,
+) -> MatchSet:
+    """Evaluate ``pattern`` over ``document`` in its current state."""
+    return Matcher(pattern, options=options, counter=counter).evaluate(document)
+
+
+def has_match(pattern: TreePattern, document: Document) -> bool:
+    return Matcher(pattern).has_embedding(document.root)

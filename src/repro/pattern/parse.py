@@ -1,0 +1,266 @@
+"""Parser for the XPath-like surface syntax of tree patterns.
+
+The paper writes queries both as drawn trees (Figure 4) and in an
+"XPath-like syntax" (Sections 2-3), e.g.::
+
+    /goingout/movies//show[title="The Hours"]/schedule
+    /hotels/hotel[name="Best Western"][rating="5"]
+           /nearby//restaurant[name=$X][address=$Y][rating="5"]
+    /hotels/hotel/nearby//()          (an LPQ: star function node)
+    //rating/getRating()              (a function node by name)
+
+Supported constructs:
+
+* ``/`` child steps and ``//`` descendant steps;
+* ``name``, ``*`` wildcard, ``"value"`` constants, ``$X`` variables;
+* ``()`` star function nodes and ``name()`` / ``(a|b)()`` named ones;
+* predicates ``[relative-path]`` and value comparisons
+  ``[path = "v"]`` / ``[path = $X]``;
+* an explicit result marker ``!`` after any step token.
+
+Result-node defaulting (when no ``!`` marker appears): if the query has
+variables they are the result nodes (the paper's Figure 4 convention),
+otherwise the last step on the main spine is (XPath convention).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .nodes import EdgeKind, PatternKind, PatternNode, pfunc, pstar
+from .pattern import TreePattern
+
+
+class PatternSyntaxError(ValueError):
+    """Raised on malformed pattern text."""
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        pointer = " " * position + "^"
+        super().__init__(f"{message} at position {position}:\n  {text}\n  {pointer}")
+        self.position = position
+
+
+_NAME_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.:"
+)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.spine_last: Optional[PatternNode] = None
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def error(self, message: str) -> PatternSyntaxError:
+        return PatternSyntaxError(message, self.text, self.pos)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def skip_ws(self) -> None:
+        while not self.at_end() and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def eat(self, token: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.eat(token):
+            raise self.error(f"expected {token!r}")
+
+    def read_name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while not self.at_end() and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start : self.pos]
+
+    def read_string(self) -> str:
+        self.expect('"')
+        start = self.pos
+        while not self.at_end() and self.text[self.pos] != '"':
+            self.pos += 1
+        if self.at_end():
+            raise self.error("unterminated string literal")
+        literal = self.text[start : self.pos]
+        self.pos += 1
+        return literal
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_query(self) -> PatternNode:
+        self.skip_ws()
+        edge = self.read_leading_edge()
+        root: PatternNode
+        if edge is EdgeKind.DESCENDANT:
+            # ``//x`` — anchor below an arbitrary root.
+            root = pstar()
+            node = self.parse_step(EdgeKind.DESCENDANT)
+            root.add_child(node)
+        else:
+            root = self.parse_step(EdgeKind.CHILD)
+            node = root
+        while not self.at_end():
+            self.skip_ws()
+            if self.at_end():
+                break
+            step_edge = self.read_leading_edge()
+            child = self.parse_step(step_edge)
+            node.add_child(child)
+            node = child
+        self.spine_last = node
+        return root
+
+    def read_leading_edge(self) -> EdgeKind:
+        if self.eat("//"):
+            return EdgeKind.DESCENDANT
+        if self.eat("/"):
+            return EdgeKind.CHILD
+        raise self.error("expected '/' or '//'")
+
+    def parse_step(self, edge: EdgeKind) -> PatternNode:
+        node = self.parse_test(edge)
+        if self.eat("!"):
+            node.is_result = True
+        while self.peek() == "[":
+            predicate = self.parse_predicate()
+            node.add_child(predicate)
+        return node
+
+    def parse_test(self, edge: EdgeKind) -> PatternNode:
+        self.skip_ws()
+        ch = self.peek()
+        if ch == "$":
+            self.pos += 1
+            return PatternNode(PatternKind.VARIABLE, self.read_name(), edge=edge)
+        if ch == '"':
+            return PatternNode(PatternKind.VALUE, self.read_string(), edge=edge)
+        if ch == "*":
+            self.pos += 1
+            return PatternNode(PatternKind.STAR, "*", edge=edge)
+        if ch == "(":
+            return self.parse_function_test(edge)
+        name = self.read_name()
+        if self.peek() == "(":
+            self.expect("(")
+            self.expect(")")
+            return pfunc([name], edge=edge)
+        return PatternNode(PatternKind.ELEMENT, name, edge=edge)
+
+    def parse_function_test(self, edge: EdgeKind) -> PatternNode:
+        self.expect("(")
+        if self.eat(")"):
+            return pfunc(None, edge=edge)
+        names = [self.read_name()]
+        while self.eat("|"):
+            names.append(self.read_name())
+        self.expect(")")
+        self.expect("(")
+        self.expect(")")
+        return pfunc(names, edge=edge)
+
+    def parse_predicate(self) -> PatternNode:
+        self.expect("[")
+        edge = EdgeKind.CHILD
+        if self.eat("//"):
+            edge = EdgeKind.DESCENDANT
+        else:
+            self.eat("/")
+        top = self.parse_step(edge)
+        node = top
+        while True:
+            self.skip_ws()
+            if self.peek() in ("/",):
+                step_edge = self.read_leading_edge()
+                child = self.parse_step(step_edge)
+                node.add_child(child)
+                node = child
+                continue
+            break
+        if self.eat("="):
+            node.add_child(self.parse_comparison_rhs())
+        self.expect("]")
+        return top
+
+    def parse_comparison_rhs(self) -> PatternNode:
+        self.skip_ws()
+        if self.peek() == "$":
+            self.pos += 1
+            return PatternNode(PatternKind.VARIABLE, self.read_name())
+        if self.peek() == '"':
+            return PatternNode(PatternKind.VALUE, self.read_string())
+        raise self.error("expected a string literal or variable after '='")
+
+
+def parse_pattern(
+    text: str,
+    name: Optional[str] = None,
+    result_variables: Optional[list[str]] = None,
+) -> TreePattern:
+    """Parse pattern text into a :class:`TreePattern`.
+
+    Args:
+        text: the query in the surface syntax described above.
+        name: optional query name (defaults to the text itself).
+        result_variables: restrict result marking to these variables
+            (overrides the defaulting rule).
+    """
+    parser = _Parser(text)
+    root = parser.parse_query()
+    parser.skip_ws()
+    if not parser.at_end():
+        raise parser.error("unexpected trailing input")
+
+    pattern = TreePattern(root, name=name or text.strip())
+    _apply_result_defaults(pattern, result_variables, parser.spine_last)
+    return pattern
+
+
+def _apply_result_defaults(
+    pattern: TreePattern,
+    result_variables: Optional[list[str]],
+    spine_last: Optional[PatternNode],
+) -> None:
+    if result_variables is not None:
+        wanted = set(result_variables)
+        marked: set[str] = set()
+        for node in pattern.nodes():
+            # Mark the first occurrence of each wanted variable only: a
+            # join variable appears several times but denotes one value.
+            node.is_result = (
+                node.is_variable
+                and node.label in wanted
+                and node.label not in marked
+            )
+            if node.is_result:
+                marked.add(node.label)
+        missing = wanted - marked
+        if missing:
+            raise ValueError(f"unknown result variables: {sorted(missing)}")
+        return
+
+    if pattern.result_nodes():
+        return  # explicit ``!`` markers win
+
+    variables = [n for n in pattern.nodes() if n.is_variable]
+    if variables:
+        seen: set[str] = set()
+        for node in variables:
+            if node.label not in seen:
+                node.is_result = True
+                seen.add(node.label)
+        return
+
+    # XPath convention: the deepest step on the main spine.
+    (spine_last or pattern.root).is_result = True

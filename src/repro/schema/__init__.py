@@ -1,0 +1,75 @@
+"""Schemas, regular expressions, automata, and satisfiability oracles."""
+
+from .automata import (
+    NFA,
+    from_linear_steps,
+    from_regex,
+    languages_intersect,
+    some_word_is_prefix_of,
+    symbols_compatible,
+    word_automaton,
+)
+from .graphschema import GraphSchema, LenientSatisfiability
+from .regex import (
+    ANY,
+    ANY_CONTENT,
+    DATA,
+    Alt,
+    Concat,
+    Epsilon,
+    Letter,
+    Maybe,
+    Plus,
+    Regex,
+    RegexSyntaxError,
+    Star,
+    parse_regex,
+)
+from .satisfiability import (
+    AlwaysSatisfiable,
+    ExactSatisfiability,
+    SatisfiabilityOracle,
+)
+from .schema import FunctionSignature, Schema, SchemaError, parse_schema
+from .termination import (
+    TerminationReport,
+    analyze_termination,
+    call_graph,
+    guaranteed_terminating,
+)
+
+__all__ = [
+    "ANY",
+    "ANY_CONTENT",
+    "Alt",
+    "AlwaysSatisfiable",
+    "Concat",
+    "DATA",
+    "Epsilon",
+    "ExactSatisfiability",
+    "FunctionSignature",
+    "GraphSchema",
+    "LenientSatisfiability",
+    "Letter",
+    "Maybe",
+    "NFA",
+    "Plus",
+    "Regex",
+    "RegexSyntaxError",
+    "SatisfiabilityOracle",
+    "Schema",
+    "SchemaError",
+    "Star",
+    "TerminationReport",
+    "analyze_termination",
+    "call_graph",
+    "guaranteed_terminating",
+    "from_linear_steps",
+    "from_regex",
+    "languages_intersect",
+    "parse_regex",
+    "parse_schema",
+    "some_word_is_prefix_of",
+    "symbols_compatible",
+    "word_automaton",
+]

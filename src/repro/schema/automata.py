@@ -1,0 +1,284 @@
+"""Symbolic finite automata over label alphabets.
+
+The influence analysis of Section 4.2 (Proposition 3) and the
+independence condition (*) of Section 4.4 both reduce to operations on
+the regular languages of linear path expressions:
+
+* build the automaton of a linear path / content-model regex,
+* close it under prefixes,
+* build a product automaton and test (non-)emptiness [16].
+
+Document labels come from an unbounded alphabet (data values are labels
+too), so the automata are *symbolic*: besides concrete letters a
+transition may carry the wildcard ``ANY``, and letter compatibility in
+the product construction is ``a∩a = a``, ``a∩ANY = a``, ``ANY∩ANY ≠ ∅``
+(the alphabet is treated as infinite, which is the right reading for
+AXML: services can invent fresh labels and values).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional, Sequence
+
+from ..pattern.nodes import EdgeKind
+from ..pattern.pattern import LinearStep
+from . import regex as rx
+
+ANY = rx.ANY
+
+
+class NFA:
+    """A nondeterministic finite automaton with epsilon moves."""
+
+    def __init__(self) -> None:
+        self.n_states = 0
+        self.start = self.new_state()
+        self.accepting: set[int] = set()
+        self.transitions: dict[int, list[tuple[str, int]]] = {}
+        self.epsilons: dict[int, set[int]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def new_state(self) -> int:
+        state = self.n_states
+        self.n_states += 1
+        return state
+
+    def add_edge(self, src: int, symbol: str, dst: int) -> None:
+        self.transitions.setdefault(src, []).append((symbol, dst))
+
+    def add_eps(self, src: int, dst: int) -> None:
+        self.epsilons.setdefault(src, set()).add(dst)
+
+    # -- basic queries ---------------------------------------------------------
+
+    def eps_closure(self, states: Iterable[int]) -> set[int]:
+        closure = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for nxt in self.epsilons.get(state, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return closure
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Membership of a concrete word (no wildcards in the word)."""
+        current = self.eps_closure({self.start})
+        for letter in word:
+            nxt: set[int] = set()
+            for state in current:
+                for symbol, dst in self.transitions.get(state, ()):
+                    if symbol == ANY or symbol == letter:
+                        nxt.add(dst)
+            if not nxt:
+                return False
+            current = self.eps_closure(nxt)
+        return bool(current & self.accepting)
+
+    def is_empty(self) -> bool:
+        """Is the recognised language empty?"""
+        seen = {self.start}
+        queue = deque([self.start])
+        while queue:
+            state = queue.popleft()
+            if state in self.accepting:
+                return False
+            for nxt in self.epsilons.get(state, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+            for _, nxt in self.transitions.get(state, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return True
+
+    # -- derived automata ----------------------------------------------------------
+
+    def prefix_closed(self) -> "NFA":
+        """The automaton of all prefixes of the language.
+
+        Every state that can reach an accepting state becomes accepting.
+        (If the language is empty so is its prefix language.)
+        """
+        out = self._copy()
+        co_reach = self._co_reachable()
+        out.accepting = set(co_reach)
+        return out
+
+    def _co_reachable(self) -> set[int]:
+        reverse: dict[int, set[int]] = {}
+        for src, edges in self.transitions.items():
+            for _, dst in edges:
+                reverse.setdefault(dst, set()).add(src)
+        for src, dsts in self.epsilons.items():
+            for dst in dsts:
+                reverse.setdefault(dst, set()).add(src)
+        seen = set(self.accepting)
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for prev in reverse.get(state, ()):
+                if prev not in seen:
+                    seen.add(prev)
+                    queue.append(prev)
+        return seen
+
+    def _copy(self) -> "NFA":
+        out = NFA.__new__(NFA)
+        out.n_states = self.n_states
+        out.start = self.start
+        out.accepting = set(self.accepting)
+        out.transitions = {s: list(e) for s, e in self.transitions.items()}
+        out.epsilons = {s: set(d) for s, d in self.epsilons.items()}
+        return out
+
+
+def symbols_compatible(a: str, b: str) -> bool:
+    """Can two symbolic letters denote a common concrete label?"""
+    return a == ANY or b == ANY or a == b
+
+
+def languages_intersect(left: NFA, right: NFA) -> bool:
+    """Non-emptiness of the product automaton ([16], used by (*))."""
+    start = (left.start, right.start)
+    seen = {start}
+    queue = deque([start])
+    left_acc = left.accepting
+    right_acc = right.accepting
+    while queue:
+        lstate, rstate = queue.popleft()
+        if lstate in left_acc and rstate in right_acc:
+            return True
+        for lnxt in left.epsilons.get(lstate, ()):
+            pair = (lnxt, rstate)
+            if pair not in seen:
+                seen.add(pair)
+                queue.append(pair)
+        for rnxt in right.epsilons.get(rstate, ()):
+            pair = (lstate, rnxt)
+            if pair not in seen:
+                seen.add(pair)
+                queue.append(pair)
+        for lsym, lnxt in left.transitions.get(lstate, ()):
+            for rsym, rnxt in right.transitions.get(rstate, ()):
+                if symbols_compatible(lsym, rsym):
+                    pair = (lnxt, rnxt)
+                    if pair not in seen:
+                        seen.add(pair)
+                        queue.append(pair)
+    return False
+
+
+def some_word_is_prefix_of(left: NFA, right: NFA) -> bool:
+    """Is some word of ``left`` a prefix of some word of ``right``?
+
+    This is exactly the test of Proposition 3: build the automaton of
+    the prefixes of ``right`` and intersect with ``left``.
+    """
+    return languages_intersect(left, right.prefix_closed())
+
+
+# -- constructions ------------------------------------------------------------------
+
+
+def from_regex(regex: rx.Regex) -> NFA:
+    """Thompson construction of a symbolic NFA from a regex AST."""
+    nfa = NFA()
+    enter, leave = _thompson(nfa, regex)
+    nfa.add_eps(nfa.start, enter)
+    nfa.accepting = {leave}
+    return nfa
+
+
+def _thompson(nfa: NFA, regex: rx.Regex) -> tuple[int, int]:
+    if isinstance(regex, rx.Epsilon):
+        state = nfa.new_state()
+        return state, state
+    if isinstance(regex, rx.Letter):
+        enter = nfa.new_state()
+        leave = nfa.new_state()
+        nfa.add_edge(enter, regex.name, leave)
+        return enter, leave
+    if isinstance(regex, rx.Concat):
+        enter, leave = _thompson(nfa, regex.parts[0])
+        for part in regex.parts[1:]:
+            nxt_enter, nxt_leave = _thompson(nfa, part)
+            nfa.add_eps(leave, nxt_enter)
+            leave = nxt_leave
+        return enter, leave
+    if isinstance(regex, rx.Alt):
+        enter = nfa.new_state()
+        leave = nfa.new_state()
+        for part in regex.parts:
+            p_enter, p_leave = _thompson(nfa, part)
+            nfa.add_eps(enter, p_enter)
+            nfa.add_eps(p_leave, leave)
+        return enter, leave
+    if isinstance(regex, rx.Star):
+        enter = nfa.new_state()
+        leave = nfa.new_state()
+        i_enter, i_leave = _thompson(nfa, regex.inner)
+        nfa.add_eps(enter, leave)
+        nfa.add_eps(enter, i_enter)
+        nfa.add_eps(i_leave, i_enter)
+        nfa.add_eps(i_leave, leave)
+        return enter, leave
+    if isinstance(regex, rx.Plus):
+        i_enter, i_leave = _thompson(nfa, regex.inner)
+        nfa.add_eps(i_leave, i_enter)
+        return i_enter, i_leave
+    if isinstance(regex, rx.Maybe):
+        enter = nfa.new_state()
+        leave = nfa.new_state()
+        i_enter, i_leave = _thompson(nfa, regex.inner)
+        nfa.add_eps(enter, leave)
+        nfa.add_eps(enter, i_enter)
+        nfa.add_eps(i_leave, leave)
+        return enter, leave
+    raise TypeError(f"unknown regex node {regex!r}")
+
+
+def from_linear_steps(
+    steps: Sequence[LinearStep], descendant_tail: bool = False
+) -> NFA:
+    """The language of label paths matching a linear pattern path.
+
+    A child step with label ``l`` contributes the letter ``l``; a
+    descendant step contributes ``ANY* l`` (an arbitrary gap, then the
+    label); steps with no label constraint (star/variable nodes)
+    contribute ``ANY``.  With ``descendant_tail`` the language is
+    suffixed by ``ANY*`` — the position language of a relevance query
+    whose target hangs by a descendant edge, so its calls may sit at any
+    depth below the linear path.
+    """
+    nfa = NFA()
+    current = nfa.start
+    for step in steps:
+        if step.edge is EdgeKind.DESCENDANT:
+            gap = nfa.new_state()
+            nfa.add_eps(current, gap)
+            nfa.add_edge(gap, ANY, gap)
+            current = gap
+        nxt = nfa.new_state()
+        nfa.add_edge(current, step.label if step.label is not None else ANY, nxt)
+        current = nxt
+    if descendant_tail:
+        nfa.add_edge(current, ANY, current)
+    nfa.accepting = {current}
+    return nfa
+
+
+def word_automaton(word: Sequence[str]) -> NFA:
+    """The automaton of a single concrete word (used by tests/F-guide)."""
+    nfa = NFA()
+    current = nfa.start
+    for letter in word:
+        nxt = nfa.new_state()
+        nfa.add_edge(current, letter, nxt)
+        current = nxt
+    nfa.accepting = {current}
+    return nfa

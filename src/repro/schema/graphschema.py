@@ -1,0 +1,137 @@
+"""Lenient satisfiability via graph schemas (Section 6.1).
+
+The paper's implementation trades accuracy for speed: *"we use a lenient
+description of the output types of functions, which ignores the
+cardinality of elements and their order.  The derived output type of a
+function is then represented by a simple graph schema, in the spirit of
+[8], and checking satisfiability amounts to checking if the query can be
+embedded in this graph.  This can be tested in time polynomial in the
+size of the schema."*
+
+The graph schema has one node per element label (plus ``data``); there
+is an edge ``a → b`` when ``b`` may appear among the *derived* children
+of ``a`` — i.e. in the content model of ``a`` with function letters
+recursively replaced by their output alphabets.  A pattern embeds into
+the graph by a straightforward memoised recursion (PTIME).
+
+The result is an over-approximation of the exact test (never prunes a
+relevant call, may let some irrelevant ones through) — exactly the safe
+trade-off Section 4's "lenient rewriting" discussion calls for.
+"""
+
+from __future__ import annotations
+
+from ..pattern.nodes import EdgeKind, PatternKind, PatternNode
+from ..pattern.pattern import TreePattern
+from . import regex as rx
+from .schema import Schema
+
+
+class GraphSchema:
+    """The derived can-contain graph of a schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._succ: dict[str, tuple[set[str], bool]] = {}
+        self._reach: dict[str, tuple[set[str], bool]] = {}
+
+    def successors(self, label: str) -> tuple[set[str], bool]:
+        """Derived child letters of a label; flag is the ``any`` top."""
+        cached = self._succ.get(label)
+        if cached is None:
+            cached = self.schema.derived_child_letters(label)
+            self._succ[label] = cached
+        return cached
+
+    def reachable_below(self, label: str) -> tuple[set[str], bool]:
+        """Labels reachable strictly below a label (for descendants)."""
+        cached = self._reach.get(label)
+        if cached is None:
+            cached = self.schema.can_contain_closure(label)
+            self._reach[label] = cached
+        return cached
+
+    def edge_exists(self, parent: str, child: str) -> bool:
+        letters, top = self.successors(parent)
+        return top or child in letters
+
+
+class LenientSatisfiability:
+    """PTIME pattern-into-graph-schema embedding test."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.graph = GraphSchema(schema)
+        self._memo: dict[tuple[str, int], bool] = {}
+
+    def function_satisfies(
+        self,
+        function_name: str,
+        pattern: TreePattern,
+        anchor_edge: EdgeKind = EdgeKind.CHILD,
+    ) -> bool:
+        letters, top = self.schema.derived_output_letters(function_name)
+        if top:
+            return True
+        root = pattern.root
+        if any(self._embeds(letter, root) for letter in letters):
+            return True
+        if anchor_edge is EdgeKind.DESCENDANT:
+            deeper: set[str] = set()
+            for letter in letters:
+                if letter == rx.DATA:
+                    continue
+                below, below_top = self.graph.reachable_below(letter)
+                if below_top:
+                    return True
+                deeper |= below
+            return any(self._embeds(letter, root) for letter in deeper)
+        return False
+
+    def pattern_satisfiable_under(
+        self, element_label: str, pattern: TreePattern
+    ) -> bool:
+        return self._embeds(element_label, pattern.root)
+
+    # -- internals -------------------------------------------------------------
+
+    def _embeds(self, letter: str, pnode: PatternNode) -> bool:
+        key = (letter, pnode.uid)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        outcome = self._embeds_raw(letter, pnode)
+        self._memo[key] = outcome
+        return outcome
+
+    def _embeds_raw(self, letter: str, pnode: PatternNode) -> bool:
+        if letter == rx.ANY:
+            return True
+        if letter == rx.DATA:
+            if pnode.kind is PatternKind.VALUE:
+                return True
+            if pnode.kind in (PatternKind.VARIABLE, PatternKind.STAR):
+                return not pnode.children
+            return False
+        if pnode.kind is PatternKind.ELEMENT and pnode.label != letter:
+            return False
+        if pnode.kind is PatternKind.VALUE:
+            return False
+        if pnode.kind in (PatternKind.FUNCTION, PatternKind.OR):
+            raise ValueError(
+                "satisfiability is defined on plain patterns "
+                "(no OR / function pattern nodes)"
+            )
+        for child in pnode.children:
+            if not self._child_embeds(letter, child):
+                return False
+        return True
+
+    def _child_embeds(self, letter: str, child: PatternNode) -> bool:
+        if child.edge is EdgeKind.CHILD:
+            letters, top = self.graph.successors(letter)
+        else:
+            letters, top = self.graph.reachable_below(letter)
+        if top:
+            return True
+        return any(self._embeds(candidate, child) for candidate in letters)

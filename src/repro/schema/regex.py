@@ -1,0 +1,315 @@
+"""Regular expressions over label alphabets.
+
+The paper's schemas (Section 2, Figure 2) describe element content models
+and function input/output types with DTD-like regular expressions over an
+alphabet of element names, function names and the keyword ``data`` (a
+data-value leaf)::
+
+    hotel   = name.address.rating.nearby
+    nearby  = restaurant*.getNearbyRestos*.museum*.getNearbyMuseums*
+    rating  = (data | getRating)
+
+Grammar implemented here (whitespace-insensitive):
+
+* names — letters (element / function names); ``data`` is just a name
+  with the reserved meaning "value leaf"; ``any`` is the wildcard letter;
+* postfix ``*`` (Kleene star), ``+`` (one or more), ``?`` (optional);
+* infix ``.`` for concatenation and ``|`` for alternation
+  (``|`` binds loosest);
+* ``()`` groups; ``epsilon`` / ``()``-empty content via the name
+  ``empty``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+DATA = "data"
+"""The reserved letter for data-value leaves."""
+
+ANY = "any"
+"""The reserved wildcard letter (matches any label, incl. values)."""
+
+EMPTY_WORD = "empty"
+"""The reserved name denoting the empty content model (epsilon)."""
+
+
+class Regex:
+    """Base class of the regex AST."""
+
+    def letters(self) -> set[str]:
+        """All concrete letters mentioned (excluding the ``any`` wildcard)."""
+        raise NotImplementedError
+
+    def mentions_any(self) -> bool:
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """Does the language contain the empty word?"""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.render()})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Regex) and self.render() == other.render()
+
+    def __hash__(self) -> int:
+        return hash(self.render())
+
+
+class Epsilon(Regex):
+    def letters(self) -> set[str]:
+        return set()
+
+    def mentions_any(self) -> bool:
+        return False
+
+    def nullable(self) -> bool:
+        return True
+
+    def render(self) -> str:
+        return EMPTY_WORD
+
+
+class Letter(Regex):
+    """A single letter: an element name, function name, ``data`` or ``any``."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("letter name cannot be empty")
+        self.name = name
+
+    def letters(self) -> set[str]:
+        return set() if self.name == ANY else {self.name}
+
+    def mentions_any(self) -> bool:
+        return self.name == ANY
+
+    def nullable(self) -> bool:
+        return False
+
+    def render(self) -> str:
+        return self.name
+
+
+class Concat(Regex):
+    def __init__(self, parts: list[Regex]) -> None:
+        if len(parts) < 2:
+            raise ValueError("Concat needs at least two parts")
+        self.parts = parts
+
+    def letters(self) -> set[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.letters()
+        return out
+
+    def mentions_any(self) -> bool:
+        return any(part.mentions_any() for part in self.parts)
+
+    def nullable(self) -> bool:
+        return all(part.nullable() for part in self.parts)
+
+    def render(self) -> str:
+        return ".".join(_group(p, for_concat=True) for p in self.parts)
+
+
+class Alt(Regex):
+    def __init__(self, parts: list[Regex]) -> None:
+        if len(parts) < 2:
+            raise ValueError("Alt needs at least two parts")
+        self.parts = parts
+
+    def letters(self) -> set[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.letters()
+        return out
+
+    def mentions_any(self) -> bool:
+        return any(part.mentions_any() for part in self.parts)
+
+    def nullable(self) -> bool:
+        return any(part.nullable() for part in self.parts)
+
+    def render(self) -> str:
+        return "(" + " | ".join(p.render() for p in self.parts) + ")"
+
+
+class Star(Regex):
+    def __init__(self, inner: Regex) -> None:
+        self.inner = inner
+
+    def letters(self) -> set[str]:
+        return self.inner.letters()
+
+    def mentions_any(self) -> bool:
+        return self.inner.mentions_any()
+
+    def nullable(self) -> bool:
+        return True
+
+    def render(self) -> str:
+        return _group(self.inner) + "*"
+
+
+class Plus(Regex):
+    def __init__(self, inner: Regex) -> None:
+        self.inner = inner
+
+    def letters(self) -> set[str]:
+        return self.inner.letters()
+
+    def mentions_any(self) -> bool:
+        return self.inner.mentions_any()
+
+    def nullable(self) -> bool:
+        return self.inner.nullable()
+
+    def render(self) -> str:
+        return _group(self.inner) + "+"
+
+
+class Maybe(Regex):
+    def __init__(self, inner: Regex) -> None:
+        self.inner = inner
+
+    def letters(self) -> set[str]:
+        return self.inner.letters()
+
+    def mentions_any(self) -> bool:
+        return self.inner.mentions_any()
+
+    def nullable(self) -> bool:
+        return True
+
+    def render(self) -> str:
+        return _group(self.inner) + "?"
+
+
+def _group(regex: Regex, for_concat: bool = False) -> str:
+    needs_parens = isinstance(regex, (Concat, Alt)) if not for_concat else isinstance(
+        regex, Alt
+    )
+    text = regex.render()
+    if needs_parens and not text.startswith("("):
+        return f"({text})"
+    return text
+
+
+ANY_CONTENT = Star(Letter(ANY))
+"""The ``any`` output type: an arbitrary forest (Section 3's assumption)."""
+
+
+# -- parser ----------------------------------------------------------------------
+
+
+class RegexSyntaxError(ValueError):
+    pass
+
+
+_NAME_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-:"
+)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the DTD-like regex syntax of Figure 2."""
+    tokens = list(_tokenize(text))
+    regex, position = _parse_alt(tokens, 0)
+    if position != len(tokens):
+        raise RegexSyntaxError(f"trailing input in regex: {text!r}")
+    return regex
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if ch in "().|*+?":
+            yield (ch, ch)
+            index += 1
+            continue
+        if ch in _NAME_CHARS:
+            start = index
+            while index < len(text) and text[index] in _NAME_CHARS:
+                index += 1
+            yield ("name", text[start:index])
+            continue
+        raise RegexSyntaxError(f"unexpected character {ch!r} in regex: {text!r}")
+
+
+def _parse_alt(tokens: list[tuple[str, str]], pos: int) -> tuple[Regex, int]:
+    part, pos = _parse_concat(tokens, pos)
+    parts = [part]
+    while pos < len(tokens) and tokens[pos][0] == "|":
+        part, pos = _parse_concat(tokens, pos + 1)
+        parts.append(part)
+    if len(parts) == 1:
+        return parts[0], pos
+    return Alt(parts), pos
+
+
+def _parse_concat(tokens: list[tuple[str, str]], pos: int) -> tuple[Regex, int]:
+    part, pos = _parse_postfix(tokens, pos)
+    parts = [part]
+    while pos < len(tokens) and tokens[pos][0] == ".":
+        part, pos = _parse_postfix(tokens, pos + 1)
+        parts.append(part)
+    if len(parts) == 1:
+        return parts[0], pos
+    return Concat(parts), pos
+
+
+def _parse_postfix(tokens: list[tuple[str, str]], pos: int) -> tuple[Regex, int]:
+    regex, pos = _parse_atom(tokens, pos)
+    while pos < len(tokens) and tokens[pos][0] in "*+?":
+        kind = tokens[pos][0]
+        if kind == "*":
+            regex = Star(regex)
+        elif kind == "+":
+            regex = Plus(regex)
+        else:
+            regex = Maybe(regex)
+        pos += 1
+    return regex, pos
+
+
+def _parse_atom(tokens: list[tuple[str, str]], pos: int) -> tuple[Regex, int]:
+    if pos >= len(tokens):
+        raise RegexSyntaxError("unexpected end of regex")
+    kind, value = tokens[pos]
+    if kind == "(":
+        regex, pos = _parse_alt(tokens, pos + 1)
+        if pos >= len(tokens) or tokens[pos][0] != ")":
+            raise RegexSyntaxError("unbalanced parenthesis in regex")
+        return regex, pos + 1
+    if kind == "name":
+        if value == EMPTY_WORD:
+            return Epsilon(), pos + 1
+        return Letter(value), pos + 1
+    raise RegexSyntaxError(f"unexpected token {value!r} in regex")
+
+
+def letter_sequence(regex: Regex) -> Optional[list[str]]:
+    """If the language is a single fixed word, return it (else ``None``)."""
+    if isinstance(regex, Epsilon):
+        return []
+    if isinstance(regex, Letter):
+        return None if regex.name == ANY else [regex.name]
+    if isinstance(regex, Concat):
+        out: list[str] = []
+        for part in regex.parts:
+            seq = letter_sequence(part)
+            if seq is None:
+                return None
+            out.extend(seq)
+        return out
+    return None

@@ -1,0 +1,263 @@
+"""Exact function-satisfiability: does ``f`` satisfy a (sub)query?
+
+Definition 6 of the paper: given a schema ``τ``, a function ``f``
+*satisfies* a query ``q`` if ``q(d) ≠ ∅`` for some **derived** instance
+``d`` of ``f``'s output type — derived instances being everything an
+instance can rewrite into by (recursively, partially) invoking the
+embedded calls.  The paper obtains an algorithm exponential in the size
+of schema and query by extending Milo & Suciu's test [22] to derived
+instances, and proves the problem NP-hard.
+
+The construction used here:
+
+* Because embeddings are homomorphisms (not injective), a pattern node
+  ``p`` with children ``c1..ck`` is satisfiable under an element labelled
+  ``a`` iff some word of the *derived* language of ``τ(a)`` contains, for
+  every ``ci``, at least one occurrence of a letter that covers ``ci``.
+  That is a hitting-set reachability problem on the content-model NFA
+  extended with a coverage bitmask — states ``(q, mask ⊆ 2^k)``, which is
+  where the (unavoidable) exponential in the pattern fan-out lives.
+* Function letters occurring in content words expand *horizontally* into
+  words of their own derived output language; the set of coverage masks
+  one ``f``-occurrence can contribute is computed as a least fixpoint
+  over all (mutually recursive) function signatures.
+* Descendant-edge pattern children are resolved through the derived
+  can-contain closure of the schema.  For several descendant children
+  routed through one branch this is a mild over-approximation (their
+  witnesses are checked level-by-level independently); over-approximation
+  keeps rewritings *safe* in the paper's sense — no relevant call is ever
+  pruned.
+* A ``data`` letter covers value constants, and variables/stars without
+  children (instances are free to choose leaf values).
+* ``any``-typed content makes everything below it satisfiable.
+
+The module also defines the oracle protocol shared with the lenient
+backend (:mod:`repro.schema.graphschema`) and the trivial
+"assume any output" oracle of Section 3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Protocol
+
+from ..pattern.nodes import EdgeKind, PatternKind, PatternNode
+from ..pattern.pattern import TreePattern
+from . import automata
+from . import regex as rx
+from .schema import Schema
+
+
+class SatisfiabilityOracle(Protocol):
+    """The pruning interface used by refined NFQs (Section 5)."""
+
+    def function_satisfies(
+        self,
+        function_name: str,
+        pattern: TreePattern,
+        anchor_edge: EdgeKind = EdgeKind.CHILD,
+    ) -> bool:
+        """Can a derived output of the function make the pattern match?
+
+        ``anchor_edge`` is the edge by which the pattern's root hangs in
+        the original query: for a child edge the root must be produced at
+        the exact call position, for a descendant edge anywhere below.
+        """
+
+
+class AlwaysSatisfiable:
+    """Section 3's assumption: every function may return anything."""
+
+    def function_satisfies(
+        self,
+        function_name: str,
+        pattern: TreePattern,
+        anchor_edge: EdgeKind = EdgeKind.CHILD,
+    ) -> bool:
+        return True
+
+
+class ExactSatisfiability:
+    """The exact (exponential, per the paper) satisfiability test."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._cover_memo: dict[tuple[str, int], bool] = {}
+        self._deep_memo: dict[tuple[str, int], bool] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def function_satisfies(
+        self,
+        function_name: str,
+        pattern: TreePattern,
+        anchor_edge: EdgeKind = EdgeKind.CHILD,
+    ) -> bool:
+        sig = self.schema.signature(function_name)
+        root = pattern.root
+        targets = [root]
+        return self._word_can_hit(sig.output_type, targets, anchor_edge)
+
+    def pattern_satisfiable_under(
+        self, element_label: str, pattern: TreePattern
+    ) -> bool:
+        """Can the pattern root embed at an element with this label?"""
+        return self._cover(element_label, pattern.root)
+
+    # -- letter coverage -------------------------------------------------------
+
+    def _cover(self, letter: str, pnode: PatternNode) -> bool:
+        """Can a node produced for ``letter`` host an embedding of ``pnode``?"""
+        key = (letter, pnode.uid)
+        cached = self._cover_memo.get(key)
+        if cached is not None:
+            return cached
+        self._cover_memo[key] = False  # pessimistic guard; LFP semantics
+        outcome = self._cover_raw(letter, pnode)
+        self._cover_memo[key] = outcome
+        return outcome
+
+    def _cover_raw(self, letter: str, pnode: PatternNode) -> bool:
+        if letter == rx.ANY:
+            return True  # an unconstrained node can be anything at all
+        if letter == rx.DATA:
+            if pnode.kind is PatternKind.VALUE:
+                return True
+            if pnode.kind in (PatternKind.VARIABLE, PatternKind.STAR):
+                return not pnode.children
+            return False
+        # Element letter.
+        if pnode.kind is PatternKind.ELEMENT and pnode.label != letter:
+            return False
+        if pnode.kind is PatternKind.VALUE:
+            return False
+        if pnode.kind in (PatternKind.FUNCTION, PatternKind.OR):
+            raise ValueError(
+                "satisfiability is defined on plain patterns "
+                "(no OR / function pattern nodes)"
+            )
+        if not pnode.children:
+            return True
+        return self._word_can_hit(
+            self.schema.content_model(letter), pnode.children, None
+        )
+
+    def _deep_cover(self, letter: str, pnode: PatternNode) -> bool:
+        """Can ``pnode`` embed strictly below a node labelled ``letter``?"""
+        if letter in (rx.ANY,):
+            return True
+        if letter == rx.DATA:
+            return False
+        key = (letter, pnode.uid)
+        cached = self._deep_memo.get(key)
+        if cached is not None:
+            return cached
+        below, top = self.schema.can_contain_closure(letter)
+        outcome = top or any(self._cover(b, pnode) for b in below)
+        self._deep_memo[key] = outcome
+        return outcome
+
+    # -- the hitting-set reachability test ------------------------------------------
+
+    def _word_can_hit(
+        self,
+        content: rx.Regex,
+        targets: list[PatternNode],
+        anchor_edge: Optional[EdgeKind],
+    ) -> bool:
+        """Does some derived word of ``content`` cover all ``targets``?
+
+        When ``anchor_edge`` is ``None`` the targets are pattern children
+        and each uses its own edge; otherwise all targets use the given
+        edge (the top-level call anchoring a pushed/sub pattern).
+        """
+        k = len(targets)
+        if k == 0:
+            return True
+        full_mask = (1 << k) - 1
+
+        mask_cache: dict[str, int] = {}
+
+        def letter_mask(letter: str) -> int:
+            cached = mask_cache.get(letter)
+            if cached is not None:
+                return cached
+            mask = 0
+            for i, target in enumerate(targets):
+                edge = anchor_edge or target.edge
+                if self._cover(letter, target):
+                    mask |= 1 << i
+                elif edge is EdgeKind.DESCENDANT and self._deep_cover(letter, target):
+                    mask |= 1 << i
+            mask_cache[letter] = mask
+            return mask
+
+        achievable = self._function_masks_fixpoint(content, letter_mask, full_mask)
+        masks = self._nfa_masks(content, letter_mask, achievable, full_mask)
+        return full_mask in masks
+
+    def _function_masks_fixpoint(
+        self,
+        content: rx.Regex,
+        letter_mask,
+        full_mask: int,
+    ) -> dict[str, set[int]]:
+        """Least fixpoint of per-function achievable coverage masks."""
+        involved = self._involved_functions(content)
+        achievable: dict[str, set[int]] = {f: set() for f in involved}
+        changed = True
+        while changed:
+            changed = False
+            for fname in involved:
+                out_type = self.schema.signature(fname).output_type
+                masks = self._nfa_masks(out_type, letter_mask, achievable, full_mask)
+                if not masks <= achievable[fname]:
+                    achievable[fname] |= masks
+                    changed = True
+        return achievable
+
+    def _involved_functions(self, content: rx.Regex) -> set[str]:
+        involved: set[str] = set()
+        frontier = [content]
+        while frontier:
+            regex = frontier.pop()
+            for letter in regex.letters():
+                if letter in self.schema.functions and letter not in involved:
+                    involved.add(letter)
+                    frontier.append(self.schema.functions[letter].output_type)
+        return involved
+
+    def _nfa_masks(
+        self,
+        content: rx.Regex,
+        letter_mask,
+        achievable: dict[str, set[int]],
+        full_mask: int,
+    ) -> set[int]:
+        """Coverage masks reachable at accepting states of the content NFA."""
+        nfa = self.schema._nfa_for(content)
+        start_states = nfa.eps_closure({nfa.start})
+        seen: set[tuple[int, int]] = {(s, 0) for s in start_states}
+        queue = deque(seen)
+        out: set[int] = set()
+        while queue:
+            state, mask = queue.popleft()
+            if state in nfa.accepting:
+                out.add(mask)
+            for symbol, dst in nfa.transitions.get(state, ()):
+                contributions: list[int]
+                if symbol == rx.ANY:
+                    contributions = [full_mask]
+                elif symbol in achievable:
+                    # A call may stay unexpanded (contributing nothing) or
+                    # expand to any word of its derived output language.
+                    contributions = [0, *achievable[symbol]]
+                else:
+                    contributions = [letter_mask(symbol)]
+                for contribution in contributions:
+                    for nxt in nfa.eps_closure({dst}):
+                        item = (nxt, mask | contribution)
+                        if item not in seen:
+                            seen.add(item)
+                            queue.append(item)
+        return out

@@ -1,0 +1,143 @@
+"""Static termination analysis for AXML rewritings.
+
+Section 2 of the paper: "since function invocations may return new data
+and new function calls, a rewriting may never terminate.  This behavior
+is inherent in the AXML model, and is carefully studied in [2], which
+provides sufficient conditions for termination."
+
+This module implements the classical sufficient condition from that
+line of work: build the *call graph* over function names — ``f -> g``
+when ``g`` may appear (at any depth) inside a derived output of ``f`` —
+and check it for cycles.  An acyclic call graph bounds the invocation
+chains by its height, so every rewriting terminates; a cycle means some
+service can (transitively) re-emit a call to itself and rewritings may
+be infinite, in which case the engine's invocation budget
+(:attr:`repro.lazy.config.EngineConfig.max_invocations`) is the safety
+net the paper's "computation halts ... after some time limit" refers
+to.
+
+Functions with ``any``-typed outputs are conservatively treated as able
+to emit every known function.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from . import regex as rx
+from .schema import Schema
+
+
+@dataclasses.dataclass(frozen=True)
+class TerminationReport:
+    """Outcome of the static analysis."""
+
+    terminating: bool
+    call_graph: dict[str, frozenset[str]]
+    cyclic_functions: frozenset[str]
+    max_chain_length: int | None
+    """Height of the call graph when acyclic (bound on nesting depth)."""
+
+    def explain(self) -> str:
+        if self.terminating:
+            return (
+                "call graph is acyclic: every rewriting terminates within "
+                f"{self.max_chain_length} nested invocation(s)"
+            )
+        cyclic = ", ".join(sorted(self.cyclic_functions))
+        return (
+            "call graph has cycles through {" + cyclic + "}: rewritings "
+            "may be infinite; rely on the engine's invocation budget"
+        )
+
+
+def call_graph(schema: Schema) -> dict[str, frozenset[str]]:
+    """``f -> g`` iff a call to ``g`` may appear inside a (derived)
+    subtree produced by ``f``."""
+    all_functions = frozenset(schema.functions)
+    graph: dict[str, frozenset[str]] = {}
+    for fname, signature in schema.functions.items():
+        if signature.output_type.mentions_any():
+            graph[fname] = all_functions
+            continue
+        reachable: set[str] = set()
+        seen_elements: set[str] = set()
+        frontier = list(signature.output_type.letters())
+        while frontier:
+            letter = frontier.pop()
+            if letter == rx.DATA:
+                continue
+            if letter in schema.functions:
+                reachable.add(letter)
+                continue  # nested calls' own outputs are *their* edges
+            if letter in seen_elements:
+                continue
+            seen_elements.add(letter)
+            content = schema.content_model(letter)
+            if content.mentions_any():
+                reachable |= all_functions
+                continue
+            frontier.extend(content.letters())
+        graph[fname] = frozenset(reachable)
+    return graph
+
+
+def analyze_termination(schema: Schema) -> TerminationReport:
+    """Run the sufficient condition and report."""
+    graph = call_graph(schema)
+    cyclic = _nodes_on_cycles(graph)
+    if cyclic:
+        return TerminationReport(
+            terminating=False,
+            call_graph=graph,
+            cyclic_functions=frozenset(cyclic),
+            max_chain_length=None,
+        )
+    return TerminationReport(
+        terminating=True,
+        call_graph=graph,
+        cyclic_functions=frozenset(),
+        max_chain_length=_height(graph),
+    )
+
+
+def guaranteed_terminating(schema: Schema) -> bool:
+    """Convenience wrapper: is every rewriting guaranteed finite?"""
+    return analyze_termination(schema).terminating
+
+
+def _nodes_on_cycles(graph: dict[str, frozenset[str]]) -> set[str]:
+    """Functions reachable from themselves (including self-loops)."""
+    cyclic: set[str] = set()
+    for start in graph:
+        frontier = list(graph.get(start, ()))
+        seen: set[str] = set()
+        while frontier:
+            node = frontier.pop()
+            if node == start:
+                cyclic.add(start)
+                break
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(graph.get(node, ()))
+    return cyclic
+
+
+def _height(graph: dict[str, frozenset[str]]) -> int:
+    """Longest invocation chain in an acyclic call graph."""
+    memo: dict[str, int] = {}
+
+    def depth(node: str) -> int:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        memo[node] = 0  # graph is acyclic; this is only a guard
+        value = 1 + max(
+            (depth(nxt) for nxt in graph.get(node, ()) if nxt in graph),
+            default=0,
+        )
+        memo[node] = value
+        return value
+
+    return max((depth(node) for node in graph), default=0)

@@ -1,0 +1,43 @@
+"""The Web-services substrate: services, registry, simulated network."""
+
+from .catalog import (
+    EmptyService,
+    FailingService,
+    SequenceService,
+    ServiceFault,
+    StaticService,
+    TableService,
+    first_value,
+    make_signature,
+)
+from .registry import ServiceBus, ServiceRegistry, UnknownServiceError
+from .service import (
+    BindingRow,
+    CallableService,
+    CallReply,
+    PushMode,
+    Service,
+)
+from .simulation import InvocationLog, InvocationRecord, NetworkModel
+
+__all__ = [
+    "BindingRow",
+    "CallReply",
+    "CallableService",
+    "EmptyService",
+    "FailingService",
+    "InvocationLog",
+    "InvocationRecord",
+    "NetworkModel",
+    "PushMode",
+    "SequenceService",
+    "Service",
+    "ServiceBus",
+    "ServiceFault",
+    "ServiceRegistry",
+    "StaticService",
+    "TableService",
+    "UnknownServiceError",
+    "first_value",
+    "make_signature",
+]

@@ -1,0 +1,156 @@
+"""Ready-made mock services for examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..axml.node import Node
+from ..schema.regex import parse_regex
+from ..schema.schema import FunctionSignature
+from .service import Service
+
+
+class ServiceFault(RuntimeError):
+    """A simulated remote failure (network drop, SOAP fault...)."""
+
+
+def make_signature(name: str, input_type: str, output_type: str) -> FunctionSignature:
+    """Convenience builder using the Figure 2 regex syntax."""
+    return FunctionSignature(
+        name, parse_regex(input_type), parse_regex(output_type)
+    )
+
+
+def first_value(parameters: Sequence[Node]) -> Optional[str]:
+    """The first value leaf found among the parameters (often the key)."""
+    for parameter in parameters:
+        for node in parameter.iter_subtree():
+            if node.is_value:
+                return node.label
+    return None
+
+
+class StaticService(Service):
+    """Always returns clones of the same template forest."""
+
+    def __init__(
+        self,
+        name: str,
+        template: Sequence[Node],
+        signature: Optional[FunctionSignature] = None,
+        latency_s: float = 0.05,
+        supports_push: bool = True,
+    ) -> None:
+        super().__init__(
+            name,
+            signature=signature,
+            latency_s=latency_s,
+            supports_push=supports_push,
+        )
+        self._template = list(template)
+
+    def produce(self, parameters: Sequence[Node]) -> list[Node]:
+        return [tree.clone() for tree in self._template]
+
+
+class TableService(Service):
+    """Keyed results: the first parameter value selects the forest.
+
+    This is the natural mock for the paper's running services — e.g.
+    ``getNearbyRestos("2nd Av.")`` returns the restaurants filed under
+    that address.  Keys with no entry yield ``default`` (empty forest
+    unless provided).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        table: dict[str, Sequence[Node]],
+        default: Optional[Sequence[Node]] = None,
+        signature: Optional[FunctionSignature] = None,
+        latency_s: float = 0.05,
+        supports_push: bool = True,
+    ) -> None:
+        super().__init__(
+            name,
+            signature=signature,
+            latency_s=latency_s,
+            supports_push=supports_push,
+        )
+        self._table = {key: list(forest) for key, forest in table.items()}
+        self._default = list(default or ())
+
+    def produce(self, parameters: Sequence[Node]) -> list[Node]:
+        key = first_value(parameters)
+        template = self._table.get(key or "", self._default)
+        return [tree.clone() for tree in template]
+
+
+class SequenceService(Service):
+    """Returns the next forest of a fixed sequence on each invocation.
+
+    Models the paper's observation that "two calls [to the same service]
+    may yield different results" (a stock ticker, a temperature feed).
+    After the sequence is exhausted, the last forest repeats.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        forests: Sequence[Sequence[Node]],
+        signature: Optional[FunctionSignature] = None,
+        latency_s: float = 0.05,
+        supports_push: bool = True,
+    ) -> None:
+        if not forests:
+            raise ValueError("SequenceService needs at least one forest")
+        super().__init__(
+            name,
+            signature=signature,
+            latency_s=latency_s,
+            supports_push=supports_push,
+        )
+        self._forests = [list(forest) for forest in forests]
+        self._cursor = 0
+
+    def produce(self, parameters: Sequence[Node]) -> list[Node]:
+        template = self._forests[min(self._cursor, len(self._forests) - 1)]
+        self._cursor += 1
+        return [tree.clone() for tree in template]
+
+
+class EmptyService(Service):
+    """Always returns the empty forest (a service with nothing to say)."""
+
+    def produce(self, parameters: Sequence[Node]) -> list[Node]:
+        return []
+
+
+class FailingService(Service):
+    """Fails for the first ``failures`` invocations, then delegates.
+
+    Used by failure-injection tests: the engine must surface (or, when
+    configured, tolerate) remote faults.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        delegate: Service,
+        failures: int = 1,
+        latency_s: float = 0.05,
+    ) -> None:
+        super().__init__(
+            name,
+            signature=delegate.signature,
+            latency_s=latency_s,
+            supports_push=delegate.supports_push,
+        )
+        self._delegate = delegate
+        self._remaining_failures = failures
+
+    def produce(self, parameters: Sequence[Node]) -> list[Node]:
+        if self._remaining_failures > 0:
+            self._remaining_failures -= 1
+            raise ServiceFault(f"simulated fault in {self.name!r}")
+        return self._delegate.produce(parameters)

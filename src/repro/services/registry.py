@@ -1,0 +1,126 @@
+"""Service registry and invocation bus.
+
+The :class:`ServiceBus` plays the role of the Web — it resolves function
+names to services, ships parameters (and pushed subqueries) to them, and
+accounts for every byte and simulated second on an
+:class:`~repro.services.simulation.InvocationLog`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..axml.node import Node
+from ..axml.xmlio import forest_size_bytes, serialized_size
+from ..pattern.nodes import EdgeKind
+from ..pattern.pattern import TreePattern
+from ..schema.schema import Schema
+from .service import CallReply, PushMode, Service
+from .simulation import InvocationLog, InvocationRecord, NetworkModel
+
+
+class UnknownServiceError(KeyError):
+    """Raised when a document references a service nobody registered."""
+
+
+class ServiceRegistry:
+    """Name -> service resolution."""
+
+    def __init__(self, services: Optional[Iterable[Service]] = None) -> None:
+        self._services: dict[str, Service] = {}
+        for service in services or ():
+            self.register(service)
+
+    def register(self, service: Service) -> Service:
+        if service.name in self._services:
+            raise ValueError(f"service {service.name!r} already registered")
+        self._services[service.name] = service
+        return service
+
+    def resolve(self, name: str) -> Service:
+        service = self._services.get(name)
+        if service is None:
+            raise UnknownServiceError(name)
+        return service
+
+    def knows(self, name: str) -> bool:
+        return name in self._services
+
+    def names(self) -> list[str]:
+        return sorted(self._services)
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def schema_with_signatures(self, base: Optional[Schema] = None) -> Schema:
+        """A schema enriched with every registered service signature."""
+        schema = base or Schema()
+        for service in self._services.values():
+            if service.signature is not None:
+                schema.functions[service.name] = service.signature
+        return schema
+
+
+class ServiceBus:
+    """Invokes services and accounts the traffic."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        self.registry = registry
+        self.log = InvocationLog(network=network)
+
+    def invoke(
+        self,
+        service_name: str,
+        parameters: Sequence[Node],
+        call_node_id: Optional[int] = None,
+        pushed: Optional[TreePattern] = None,
+        push_mode: PushMode = PushMode.NONE,
+        anchor_edge: EdgeKind = EdgeKind.CHILD,
+    ) -> tuple[CallReply, InvocationRecord]:
+        service = self.registry.resolve(service_name)
+        reply = service.invoke(
+            parameters,
+            pushed=pushed,
+            push_mode=push_mode,
+            anchor_edge=anchor_edge,
+        )
+        request_bytes = sum(serialized_size(p) for p in parameters)
+        pushed_text: Optional[str] = None
+        if pushed is not None and push_mode is not PushMode.NONE:
+            pushed_text = pushed.to_string()
+            request_bytes += len(pushed_text.encode("utf-8"))
+        response_bytes = self._response_bytes(reply)
+        record = self.log.record(
+            service_name=service_name,
+            call_node_id=call_node_id,
+            request_bytes=request_bytes,
+            response_bytes=response_bytes,
+            service_latency_s=service.latency_s,
+            pushed_query=pushed_text,
+            push_mode=reply.push_mode.value,
+            returned_bindings=reply.is_bindings,
+            new_calls=sum(
+                1
+                for tree in reply.forest
+                for node in tree.iter_subtree()
+                if node.is_function
+            ),
+        )
+        return reply, record
+
+    @staticmethod
+    def _response_bytes(reply: CallReply) -> int:
+        size = forest_size_bytes(reply.forest)
+        if reply.bindings is not None:
+            for row in reply.bindings:
+                # <tuple><x>v</x>...</tuple> — the paper's reply shape.
+                size += len("<tuple></tuple>")
+                for variable, value in row.values:
+                    size += len(
+                        f"<{variable}>{value}</{variable}>".encode("utf-8")
+                    )
+        return size

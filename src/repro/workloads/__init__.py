@@ -1,0 +1,55 @@
+"""Workload generators: the paper's scenarios at parametric scale."""
+
+from .hotels import (
+    HOTELS_SCHEMA_TEXT,
+    PAPER_QUERY_TEXT,
+    HotelsWorkloadParams,
+    Workload,
+    build_hotels_workload,
+    figure_1_document,
+    figure_1_registry,
+    figure_1_schema,
+    paper_query,
+)
+from .nightlife import (
+    NIGHTLIFE_QUERY_TEXT,
+    NIGHTLIFE_SCHEMA_TEXT,
+    NightlifeParams,
+    build_nightlife_workload,
+)
+from .queries import (
+    ALL_HOTELS_QUERIES,
+    hotels_broad_query,
+    hotels_point_query,
+    hotels_rating_only_query,
+    hotels_selective_query,
+)
+from .synthetic import SyntheticService, SyntheticWorld, make_world
+
+__all__ = [
+    "ALL_HOTELS_QUERIES",
+    "HOTELS_SCHEMA_TEXT",
+    "HotelsWorkloadParams",
+    "NIGHTLIFE_QUERY_TEXT",
+    "NIGHTLIFE_SCHEMA_TEXT",
+    "NightlifeParams",
+    "PAPER_QUERY_TEXT",
+    "SyntheticService",
+    "SyntheticWorld",
+    "Workload",
+    "build_hotels_workload",
+    "build_nightlife_workload",
+    "figure_1_document",
+    "figure_1_registry",
+    "figure_1_schema",
+    "hotels_broad_query",
+    "hotels_point_query",
+    "hotels_rating_only_query",
+    "hotels_selective_query",
+    "make_world",
+    "paper_query",
+]
+
+from .chains import ChainService, build_chain_workload  # noqa: E402
+
+__all__ += ["ChainService", "build_chain_workload"]

@@ -1,0 +1,110 @@
+"""Chained-call workloads: deep dynamic nesting for the layering
+experiment (E5).
+
+A *chain* document materialises one level at a time: the root holds a
+call whose result holds the next level's call, and so on ``depth``
+times, ending in a leaf value.  Layered NFQA should walk the chain with
+exactly one relevance sweep per level, while plain NFQA re-evaluates
+every NFQ after every invocation.
+
+A *comb* document has ``width`` independent branches, each with its own
+chain — the parallelism experiment: branch positions are pairwise
+disjoint, so condition (*) lets each round fire one call per branch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..axml.builder import C, E, V, build_document
+from ..axml.document import Document
+from ..axml.node import Node
+from ..pattern.parse import parse_pattern
+from ..pattern.pattern import TreePattern
+from ..schema.schema import Schema
+from ..services.catalog import make_signature
+from ..services.registry import ServiceBus, ServiceRegistry
+from ..services.service import Service
+from .hotels import Workload
+
+
+class ChainService(Service):
+    """``levelK(i)`` returns ``<lK><levelK+1(i)/></lK>`` until the last
+    level, which returns the leaf value."""
+
+    def __init__(self, level: int, depth: int, latency_s: float) -> None:
+        super().__init__(
+            f"level{level}",
+            signature=make_signature(
+                f"level{level}",
+                "data",
+                f"l{level}" if level < depth else "data",
+            ),
+            latency_s=latency_s,
+        )
+        self._level = level
+        self._depth = depth
+
+    def produce(self, parameters: Sequence[Node]) -> list[Node]:
+        key = parameters[0].label if parameters else "0"
+        if self._level >= self._depth:
+            return [V(f"leaf-{key}")]
+        return [
+            E(
+                f"l{self._level}",
+                C(f"level{self._level + 1}", V(key)),
+            )
+        ]
+
+
+def build_chain_workload(
+    depth: int = 6, width: int = 1, latency_s: float = 0.05
+) -> Workload:
+    """A comb of ``width`` branches, each a chain of ``depth`` calls.
+
+    The query asks for the leaf of every branch:
+    ``/chain/branch/l1/l2/.../l<depth-1>/$LEAF``.
+    """
+    if depth < 2:
+        raise ValueError("chains need depth >= 2")
+    registry = ServiceRegistry(
+        ChainService(level, depth, latency_s) for level in range(1, depth + 1)
+    )
+
+    # Content models cover both the intensional and the materialised
+    # state of every level (like the paper's rating = (data|getRating)).
+    schema = Schema()
+    schema.declare_element("chain", "branch+")
+    schema.declare_element("branch", "(l1 | level1)")
+    for level in range(1, depth):
+        if level < depth - 1:
+            content = f"(l{level + 1} | level{level + 1})"
+        else:
+            content = f"(data | level{depth})"
+        schema.declare_element(f"l{level}", content)
+    for level in range(1, depth + 1):
+        out = f"l{level}" if level < depth else "data"
+        schema.declare_function(f"level{level}", "data", out)
+
+    steps = "/".join(f"l{level}" for level in range(1, depth))
+    query_text = f"/chain/branch/{steps}/$LEAF"
+
+    def document_factory() -> Document:
+        return build_document(
+            E(
+                "chain",
+                *[
+                    E("branch", C("level1", V(str(b))))
+                    for b in range(width)
+                ],
+            ),
+            name=f"chain(d={depth},w={width})",
+        )
+
+    return Workload(
+        name=f"chain(depth={depth},width={width})",
+        schema=schema,
+        registry=registry,
+        query=parse_pattern(query_text, name="chain-query"),
+        _document_factory=document_factory,
+    )

@@ -1,0 +1,395 @@
+"""The paper's running example (Figures 1-4) at parametric scale.
+
+A ``hotels`` document lists hotels; each hotel carries a name, an
+address, a rating that is either extensional or a ``getRating`` call,
+and a ``nearby`` section mixing extensional restaurants/museums with
+``getNearbyRestos`` / ``getNearbyMuseums`` calls.  The document tail has
+a ``getHotels`` call whose result brings *more* hotels — themselves
+containing further calls, reproducing the paper's dynamic-nesting
+behaviour (Figure 3's nested ``getRating``).
+
+All randomness is seeded, and the mock services are *functions of their
+parameters* (address-keyed tables), so every evaluation strategy sees
+exactly the same world — which is what makes the cross-strategy
+equivalence tests meaningful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional
+
+from ..axml.builder import C, E, V, build_document
+from ..axml.document import Document
+from ..axml.node import Node
+from ..pattern.parse import parse_pattern
+from ..pattern.pattern import TreePattern
+from ..schema.schema import Schema, parse_schema
+from ..services.catalog import StaticService, TableService, make_signature
+from ..services.registry import ServiceBus, ServiceRegistry
+from ..services.simulation import NetworkModel
+
+HOTELS_SCHEMA_TEXT = """
+functions:
+  getHotels        = [in: data, out: hotel*]
+  getRating        = [in: data, out: data]
+  getNearbyRestos  = [in: data, out: restaurant*]
+  getNearbyMuseums = [in: data, out: museum*]
+elements:
+  hotels     = hotel*.getHotels*
+  hotel      = name.address.rating.nearby
+  nearby     = restaurant*.getNearbyRestos*.museum*.getNearbyMuseums*
+  restaurant = name.address.rating
+  museum     = name.address
+  name       = data
+  address    = data
+  rating     = (data | getRating)
+"""
+
+TARGET_HOTEL_NAME = "Best Western"
+FIVE_STARS = "5"
+
+PAPER_QUERY_TEXT = (
+    f'/hotels/hotel[name="{TARGET_HOTEL_NAME}"][rating="{FIVE_STARS}"]'
+    '/nearby//restaurant[name=$X][address=$Y]'
+    f'[rating="{FIVE_STARS}"]'
+)
+
+
+@dataclasses.dataclass
+class HotelsWorkloadParams:
+    """Knobs of the generator (defaults shaped like the paper's story)."""
+
+    n_hotels: int = 20
+    extra_hotels_via_service: int = 5
+    target_name_fraction: float = 0.3
+    target_hotel_count: Optional[int] = None
+    """When set, exactly this many (evenly spread) extensional hotels
+    carry the target name, regardless of ``n_hotels`` — the
+    constant-selectivity regime where lazy evaluation's advantage grows
+    with document size (experiment E1)."""
+    five_star_fraction: float = 0.5
+    hotel_five_star_fraction: Optional[float] = None
+    """Five-star probability for *hotel* ratings; defaults to
+    ``five_star_fraction`` (which then also governs restaurants)."""
+    intensional_rating_fraction: float = 0.5
+    intensional_restos_fraction: float = 0.6
+    restaurants_per_hotel: int = 3
+    nested_rating_fraction: float = 0.3
+    """Fraction of service-returned restaurants whose rating is itself a
+    ``getRating`` call (the Figure 3 nesting)."""
+    museums_per_hotel: int = 2
+    service_latency_s: float = 0.05
+    seed: int = 2004
+
+
+@dataclasses.dataclass
+class Workload:
+    """A ready-to-evaluate scenario: document, services, schema, query."""
+
+    name: str
+    schema: Schema
+    registry: ServiceRegistry
+    query: TreePattern
+    _document_factory: object
+
+    def make_document(self) -> Document:
+        return self._document_factory()  # type: ignore[operator]
+
+    def make_bus(self, network: Optional[NetworkModel] = None) -> ServiceBus:
+        return ServiceBus(self.registry, network=network)
+
+
+def build_hotels_workload(
+    params: Optional[HotelsWorkloadParams] = None,
+) -> Workload:
+    """Build the hotels scenario: seeded documents + keyed mock services."""
+    params = params or HotelsWorkloadParams()
+    rng = random.Random(params.seed)
+    schema = parse_schema(HOTELS_SCHEMA_TEXT)
+
+    rating_table: dict[str, list[Node]] = {}
+    restos_table: dict[str, list[Node]] = {}
+    museums_table: dict[str, list[Node]] = {}
+
+    def address_of(index: int) -> str:
+        return f"{index} Madison Av."
+
+    def make_rating(index: int, address: str) -> Node:
+        hotel_fraction = (
+            params.hotel_five_star_fraction
+            if params.hotel_five_star_fraction is not None
+            else params.five_star_fraction
+        )
+        five = rng.random() < hotel_fraction
+        value = FIVE_STARS if five else str(rng.randint(1, 4))
+        if rng.random() < params.intensional_rating_fraction:
+            rating_table[address] = [V(value)]
+            return E("rating", C("getRating", V(address)))
+        return E("rating", V(value))
+
+    def make_restaurant(index: int, address: str, allow_nested: bool) -> Node:
+        five = rng.random() < params.five_star_fraction
+        value = FIVE_STARS if five else str(rng.randint(1, 4))
+        resto_address = f"{address} #{index}"
+        if allow_nested and rng.random() < params.nested_rating_fraction:
+            rating_table[resto_address] = [V(value)]
+            rating: Node = E("rating", C("getRating", V(resto_address)))
+        else:
+            rating = E("rating", V(value))
+        return E(
+            "restaurant",
+            E("name", V(f"Resto {index} of {address}")),
+            E("address", V(resto_address)),
+            rating,
+        )
+
+    def make_nearby(index: int, address: str) -> Node:
+        children: list[Node] = []
+        intensional = rng.random() < params.intensional_restos_fraction
+        if intensional:
+            restos_table[address] = [
+                make_restaurant(j, address, allow_nested=True)
+                for j in range(params.restaurants_per_hotel)
+            ]
+            children.append(C("getNearbyRestos", V(address)))
+        else:
+            children.extend(
+                make_restaurant(j, address, allow_nested=False)
+                for j in range(params.restaurants_per_hotel)
+            )
+        museums_table[address] = [
+            E(
+                "museum",
+                E("name", V(f"Museum {j} of {address}")),
+                E("address", V(address)),
+            )
+            for j in range(params.museums_per_hotel)
+        ]
+        children.append(C("getNearbyMuseums", V(address)))
+        return E("nearby", *children)
+
+    def is_target_hotel(index: int) -> bool:
+        if params.target_hotel_count is None:
+            return rng.random() < params.target_name_fraction
+        if index >= params.n_hotels:
+            return False  # service-delivered hotels stay non-targets
+        count = min(params.target_hotel_count, params.n_hotels)
+        if count == 0:
+            return False
+        stride = max(1, params.n_hotels // count)
+        return index % stride == 0 and index // stride < count
+
+    def make_hotel(index: int) -> Node:
+        address = address_of(index)
+        is_target = is_target_hotel(index)
+        name = TARGET_HOTEL_NAME if is_target else f"Hotel {index}"
+        return E(
+            "hotel",
+            E("name", V(name)),
+            E("address", V(address)),
+            make_rating(index, address),
+            make_nearby(index, address),
+        )
+
+    extensional_hotels = [make_hotel(i) for i in range(params.n_hotels)]
+    service_hotels = [
+        make_hotel(params.n_hotels + i)
+        for i in range(params.extra_hotels_via_service)
+    ]
+
+    registry = ServiceRegistry(
+        [
+            TableService(
+                "getRating",
+                rating_table,
+                default=[V("0")],
+                signature=make_signature("getRating", "data", "data"),
+                latency_s=params.service_latency_s,
+            ),
+            TableService(
+                "getNearbyRestos",
+                restos_table,
+                signature=make_signature("getNearbyRestos", "data", "restaurant*"),
+                latency_s=params.service_latency_s,
+            ),
+            TableService(
+                "getNearbyMuseums",
+                museums_table,
+                signature=make_signature("getNearbyMuseums", "data", "museum*"),
+                latency_s=params.service_latency_s,
+            ),
+            StaticService(
+                "getHotels",
+                service_hotels,
+                signature=make_signature("getHotels", "data", "hotel*"),
+                latency_s=params.service_latency_s,
+            ),
+        ]
+    )
+
+    def document_factory() -> Document:
+        trees = [tree.clone() for tree in extensional_hotels]
+        trees.append(C("getHotels", V("NY")))
+        return build_document(E("hotels", *trees), name="hotels")
+
+    return Workload(
+        name=f"hotels(n={params.n_hotels})",
+        schema=schema,
+        registry=registry,
+        query=parse_pattern(PAPER_QUERY_TEXT, name="paper-query"),
+        _document_factory=document_factory,
+    )
+
+
+def figure_1_document() -> Document:
+    """The exact document of the paper's Figure 1 (call numbering in
+    document order differs from the figure's but covers the same cases)."""
+    return build_document(
+        E(
+            "hotels",
+            E(
+                "hotel",
+                E("name", V("Best Western")),
+                E("address", V("75, 2nd Av.")),
+                E("rating", V("5")),
+                E(
+                    "nearby",
+                    C("getNearbyRestos", V("75, 2nd Av.")),
+                    C("getNearbyMuseums", V("75, 2nd Av.")),
+                ),
+            ),
+            E(
+                "hotel",
+                E("name", V("Best Western Madison")),
+                E("address", V("22 Madison Av.")),
+                E("rating", C("getRating", V("22 Madison Av."))),
+                E(
+                    "nearby",
+                    C("getNearbyRestos", V("22 Madison Av.")),
+                    C("getNearbyMuseums", V("22 Madison Av.")),
+                ),
+            ),
+            E(
+                "hotel",
+                E("name", V("Pennsylvania")),
+                E("address", V("13 Penn St.")),
+                E("rating", C("getRating", V("13 Penn St."))),
+                E(
+                    "nearby",
+                    C("getNearbyRestos", V("13 Penn St.")),
+                ),
+            ),
+            E(
+                "hotel",
+                E("name", V("Best Western 34th St.")),
+                E("address", V("12 34th St. W")),
+                E("rating", C("getRating", V("12 34th St. W"))),
+                E(
+                    "nearby",
+                    C("getNearbyMuseums", V("12 34th St. W")),
+                ),
+            ),
+            C("getHotels", V("NY")),
+        ),
+        name="figure-1",
+    )
+
+
+def figure_1_registry() -> ServiceRegistry:
+    """Services matching the Figure 1/3 narrative.
+
+    * ``getNearbyRestos("75, 2nd Av.")`` returns the Figure 3 result:
+      two restaurants, one five-star, one with a nested ``getRating``;
+    * the Madison hotel's ``getRating`` returns a low rating (the
+      Section 4 example of relevance being lost);
+    * other services return plausible small results.
+    """
+    restos_2nd_av = [
+        E(
+            "restaurant",
+            E("name", V("Jo Mama")),
+            E("address", V("75, 2nd Av.")),
+            E("rating", V("5")),
+        ),
+        E(
+            "restaurant",
+            E("name", V("In Delis")),
+            E("address", V("2nd Ave.")),
+            E("rating", C("getRating", V("In Delis"))),
+        ),
+    ]
+    return ServiceRegistry(
+        [
+            TableService(
+                "getNearbyRestos",
+                {
+                    "75, 2nd Av.": restos_2nd_av,
+                    "22 Madison Av.": [
+                        E(
+                            "restaurant",
+                            E("name", V("Madison Grill")),
+                            E("address", V("23 Madison Av.")),
+                            E("rating", V("4")),
+                        )
+                    ],
+                    "13 Penn St.": [],
+                },
+                signature=make_signature("getNearbyRestos", "data", "restaurant*"),
+            ),
+            TableService(
+                "getNearbyMuseums",
+                {},
+                default=[
+                    E(
+                        "museum",
+                        E("name", V("City Museum")),
+                        E("address", V("Downtown")),
+                    )
+                ],
+                signature=make_signature("getNearbyMuseums", "data", "museum*"),
+            ),
+            TableService(
+                "getRating",
+                {
+                    "22 Madison Av.": [V("2")],
+                    "13 Penn St.": [V("5")],
+                    "12 34th St. W": [V("5")],
+                    "In Delis": [V("5")],
+                },
+                default=[V("3")],
+                signature=make_signature("getRating", "data", "data"),
+            ),
+            StaticService(
+                "getHotels",
+                [
+                    E(
+                        "hotel",
+                        E("name", V("Best Western")),
+                        E("address", V("1 Liberty Pl.")),
+                        E("rating", V("5")),
+                        E(
+                            "nearby",
+                            E(
+                                "restaurant",
+                                E("name", V("Liberty Diner")),
+                                E("address", V("2 Liberty Pl.")),
+                                E("rating", V("5")),
+                            ),
+                        ),
+                    )
+                ],
+                signature=make_signature("getHotels", "data", "hotel*"),
+            ),
+        ]
+    )
+
+
+def paper_query() -> TreePattern:
+    """The Figure 4 query."""
+    return parse_pattern(PAPER_QUERY_TEXT, name="paper-query")
+
+
+def figure_1_schema() -> Schema:
+    return parse_schema(HOTELS_SCHEMA_TEXT)

@@ -1,0 +1,165 @@
+"""The introduction's night-life portal scenario.
+
+"Consider a Web site about your city's night-life ... containing
+information about, say, movies and restaurants.  Now, suppose someone
+asks the query /goingout/movies//show[title="The Hours"]/schedule.
+Then, there is no point in invoking any calls found below the path
+/goingout/restaurants."
+
+The generated document has a ``movies`` section (theaters whose shows
+come from ``getShows`` calls) and a ``restaurants`` section fed by
+``getRestaurantList`` whose results embed further ``getMenu`` calls —
+an arbitrarily expensive subtree a lazy evaluator must never touch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional
+
+from ..axml.builder import C, E, V, build_document
+from ..axml.document import Document
+from ..axml.node import Node
+from ..pattern.parse import parse_pattern
+from ..schema.schema import parse_schema
+from ..services.catalog import StaticService, TableService, make_signature
+from ..services.registry import ServiceRegistry
+from .hotels import Workload
+
+NIGHTLIFE_SCHEMA_TEXT = """
+functions:
+  getShows          = [in: data, out: show*]
+  getReviews        = [in: data, out: review*]
+  getRestaurantList = [in: data, out: restaurant*]
+  getMenu           = [in: data, out: dish*]
+elements:
+  goingout    = movies.restaurants
+  movies      = theater*
+  theater     = name.(show | getShows)*.(review | getReviews)*
+  show        = title.schedule
+  title       = data
+  schedule    = data
+  review      = data
+  restaurants = (restaurant | getRestaurantList)*
+  restaurant  = name.cuisine.(dish | getMenu)*
+  name        = data
+  cuisine     = data
+  dish        = data
+"""
+
+TARGET_TITLE = "The Hours"
+
+NIGHTLIFE_QUERY_TEXT = (
+    f'/goingout/movies//show[title="{TARGET_TITLE}"]/schedule'
+)
+
+
+@dataclasses.dataclass
+class NightlifeParams:
+    n_theaters: int = 10
+    shows_per_theater: int = 4
+    target_title_fraction: float = 0.25
+    n_restaurants: int = 20
+    dishes_per_restaurant: int = 5
+    with_reviews: bool = True
+    service_latency_s: float = 0.05
+    seed: int = 42
+
+
+def build_nightlife_workload(
+    params: Optional[NightlifeParams] = None,
+) -> Workload:
+    params = params or NightlifeParams()
+    rng = random.Random(params.seed)
+    schema = parse_schema(NIGHTLIFE_SCHEMA_TEXT)
+
+    shows_table: dict[str, list[Node]] = {}
+    reviews_table: dict[str, list[Node]] = {}
+    menu_table: dict[str, list[Node]] = {}
+
+    def make_show(theater: str, index: int) -> Node:
+        plays_target = rng.random() < params.target_title_fraction
+        title = TARGET_TITLE if plays_target else f"Film {theater}-{index}"
+        return E(
+            "show",
+            E("title", V(title)),
+            E("schedule", V(f"{18 + index % 4}:30 at {theater}")),
+        )
+
+    theaters = []
+    for t in range(params.n_theaters):
+        name = f"Cinema {t}"
+        shows_table[name] = [
+            make_show(name, s) for s in range(params.shows_per_theater)
+        ]
+        reviews_table[name] = [E("review", V(f"Review of {name}"))]
+        children: list[Node] = [E("name", V(name)), C("getShows", V(name))]
+        if params.with_reviews:
+            children.append(C("getReviews", V(name)))
+        theaters.append(E("theater", *children))
+
+    restaurants = []
+    for r in range(params.n_restaurants):
+        name = f"Bistro {r}"
+        menu_table[name] = [
+            E("dish", V(f"Dish {d} at {name}"))
+            for d in range(params.dishes_per_restaurant)
+        ]
+        restaurants.append(
+            E(
+                "restaurant",
+                E("name", V(name)),
+                E("cuisine", V(rng.choice(["french", "thai", "fusion"]))),
+                C("getMenu", V(name)),
+            )
+        )
+
+    registry = ServiceRegistry(
+        [
+            TableService(
+                "getShows",
+                shows_table,
+                signature=make_signature("getShows", "data", "show*"),
+                latency_s=params.service_latency_s,
+            ),
+            TableService(
+                "getReviews",
+                reviews_table,
+                signature=make_signature("getReviews", "data", "review*"),
+                latency_s=params.service_latency_s,
+            ),
+            StaticService(
+                "getRestaurantList",
+                restaurants,
+                signature=make_signature(
+                    "getRestaurantList", "data", "restaurant*"
+                ),
+                latency_s=params.service_latency_s,
+            ),
+            TableService(
+                "getMenu",
+                menu_table,
+                signature=make_signature("getMenu", "data", "dish*"),
+                latency_s=params.service_latency_s,
+            ),
+        ]
+    )
+
+    def document_factory() -> Document:
+        return build_document(
+            E(
+                "goingout",
+                E("movies", *[t.clone() for t in theaters]),
+                E("restaurants", C("getRestaurantList", V("NY"))),
+            ),
+            name="goingout",
+        )
+
+    return Workload(
+        name=f"nightlife(t={params.n_theaters},r={params.n_restaurants})",
+        schema=schema,
+        registry=registry,
+        query=parse_pattern(NIGHTLIFE_QUERY_TEXT, name="nightlife-query"),
+        _document_factory=document_factory,
+    )

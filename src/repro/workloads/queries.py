@@ -1,0 +1,49 @@
+"""Query variants over the standard workloads, used by the benchmarks."""
+
+from __future__ import annotations
+
+from ..pattern.parse import parse_pattern
+from ..pattern.pattern import TreePattern
+from .hotels import FIVE_STARS, TARGET_HOTEL_NAME
+
+
+def hotels_selective_query() -> TreePattern:
+    """The paper's Figure 4 query: name + rating filters, restaurant join."""
+    return parse_pattern(
+        f'/hotels/hotel[name="{TARGET_HOTEL_NAME}"][rating="{FIVE_STARS}"]'
+        f'/nearby//restaurant[name=$X][address=$Y][rating="{FIVE_STARS}"]',
+        name="hotels-selective",
+    )
+
+
+def hotels_broad_query() -> TreePattern:
+    """No hotel-level filters: most calls stay relevant."""
+    return parse_pattern(
+        "/hotels/hotel/nearby//restaurant[name=$X][address=$Y]",
+        name="hotels-broad",
+    )
+
+
+def hotels_rating_only_query() -> TreePattern:
+    """Touches only the rating branch (museum/resto calls irrelevant
+    once types are known)."""
+    return parse_pattern(
+        f'/hotels/hotel[rating="{FIVE_STARS}"]/name',
+        name="hotels-rating-only",
+    )
+
+
+def hotels_point_query() -> TreePattern:
+    """Fully extensionally answerable on most documents."""
+    return parse_pattern(
+        f'/hotels/hotel[name="{TARGET_HOTEL_NAME}"]/address',
+        name="hotels-point",
+    )
+
+
+ALL_HOTELS_QUERIES = {
+    "selective": hotels_selective_query,
+    "broad": hotels_broad_query,
+    "rating-only": hotels_rating_only_query,
+    "point": hotels_point_query,
+}

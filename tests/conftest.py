@@ -1,0 +1,75 @@
+"""Shared fixtures: the paper's running example and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.axml.builder import C, E, V, build_document
+from repro.lazy.config import EngineConfig, Strategy
+from repro.lazy.engine import LazyQueryEvaluator
+from repro.services.registry import ServiceBus
+from repro.workloads.hotels import (
+    figure_1_document,
+    figure_1_registry,
+    figure_1_schema,
+    paper_query,
+)
+
+
+@pytest.fixture
+def fig1_document():
+    return figure_1_document()
+
+
+@pytest.fixture
+def fig1_registry():
+    return figure_1_registry()
+
+
+@pytest.fixture
+def fig1_schema():
+    return figure_1_schema()
+
+
+@pytest.fixture
+def fig1_query():
+    return paper_query()
+
+
+@pytest.fixture
+def fig1_bus(fig1_registry):
+    return ServiceBus(fig1_registry)
+
+
+@pytest.fixture
+def small_document():
+    """A tiny mixed document used by many structural tests."""
+    return build_document(
+        E(
+            "library",
+            E(
+                "book",
+                E("title", V("Foundations of Databases")),
+                E("year", V("1995")),
+                C("getPrice", V("fdb")),
+            ),
+            E(
+                "book",
+                E("title", V("Data on the Web")),
+                C("getReviews", V("dotw")),
+            ),
+            C("getBooks", V("db")),
+        ),
+        name="library",
+    )
+
+
+def run_engine(query, document, bus, schema=None, **config_kwargs):
+    """Evaluate with a given configuration; returns the outcome."""
+    config = EngineConfig(**config_kwargs)
+    engine = LazyQueryEvaluator(bus, schema=schema, config=config)
+    return engine.evaluate(query, document)
+
+
+def all_lazy_strategies():
+    return [Strategy.LAZY_LPQ, Strategy.LAZY_NFQ, Strategy.LAZY_NFQ_TYPED]

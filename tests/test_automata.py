@@ -1,0 +1,135 @@
+"""Unit tests for symbolic NFAs: membership, products, prefixes.
+
+These are the language operations Proposition 3 and condition (*) are
+built on, so they get their own careful coverage.
+"""
+
+from repro.pattern.nodes import EdgeKind
+from repro.pattern.parse import parse_pattern
+from repro.pattern.pattern import LinearStep
+from repro.schema.automata import (
+    from_linear_steps,
+    from_regex,
+    languages_intersect,
+    some_word_is_prefix_of,
+    symbols_compatible,
+    word_automaton,
+)
+from repro.schema.regex import ANY, parse_regex
+
+
+def nfa(text):
+    return from_regex(parse_regex(text))
+
+
+def steps_of(query_text, label, include_node=True):
+    q = parse_pattern(query_text)
+    node = [n for n in q.nodes() if n.label == label][0]
+    return q.linear_steps_to(node, include_node=include_node)
+
+
+def test_symbol_compatibility():
+    assert symbols_compatible("a", "a")
+    assert symbols_compatible("a", ANY)
+    assert symbols_compatible(ANY, ANY)
+    assert not symbols_compatible("a", "b")
+
+
+def test_regex_membership():
+    m = nfa("(a|b)*.c")
+    assert m.accepts(["c"])
+    assert m.accepts(["a", "b", "b", "c"])
+    assert not m.accepts([])
+    assert not m.accepts(["a", "c", "c"])
+
+
+def test_plus_and_maybe():
+    assert nfa("a+").accepts(["a", "a"])
+    assert not nfa("a+").accepts([])
+    assert nfa("a?").accepts([])
+    assert not nfa("a?").accepts(["a", "a"])
+
+
+def test_any_letter_matches_anything():
+    m = nfa("any*.end")
+    assert m.accepts(["x", "y", "end"])
+    assert m.accepts(["end"])
+    assert not m.accepts(["x", "y"])
+
+
+def test_is_empty():
+    assert not nfa("a").is_empty()
+    assert not nfa("a*").is_empty()
+
+
+def test_word_automaton():
+    m = word_automaton(["a", "b"])
+    assert m.accepts(["a", "b"])
+    assert not m.accepts(["a"])
+    assert not m.accepts(["a", "b", "c"])
+
+
+def test_linear_steps_child_only():
+    m = from_linear_steps(steps_of("/hotels/hotel/rating", "rating"))
+    assert m.accepts(["hotels", "hotel", "rating"])
+    assert not m.accepts(["hotels", "rating"])
+
+
+def test_linear_steps_descendant_gap():
+    m = from_linear_steps(steps_of("/a//b/c", "c"))
+    assert m.accepts(["a", "b", "c"])
+    assert m.accepts(["a", "x", "y", "b", "c"])
+    assert not m.accepts(["a", "x", "c"])
+
+
+def test_linear_steps_star_is_any():
+    m = from_linear_steps(steps_of("/a/*/c", "c"))
+    assert m.accepts(["a", "anything", "c"])
+    assert not m.accepts(["a", "c"])
+
+
+def test_descendant_tail_suffix():
+    steps = steps_of("/a/b", "b")
+    plain = from_linear_steps(steps)
+    tailed = from_linear_steps(steps, descendant_tail=True)
+    assert plain.accepts(["a", "b"]) and tailed.accepts(["a", "b"])
+    assert not plain.accepts(["a", "b", "x", "y"])
+    assert tailed.accepts(["a", "b", "x", "y"])
+
+
+def test_intersection_basics():
+    assert languages_intersect(nfa("a.b"), nfa("a.any"))
+    assert not languages_intersect(nfa("a.b"), nfa("a.b.c"))
+    assert not languages_intersect(nfa("a"), nfa("b"))
+    assert languages_intersect(nfa("(a|b).c"), nfa("b.c"))
+
+
+def test_intersection_with_any_star_gap():
+    left = from_linear_steps(steps_of("/r//x", "x"))
+    right = from_linear_steps(steps_of("/r/a/x", "x"))
+    assert languages_intersect(left, right)
+
+
+def test_prefix_closure_semantics():
+    closed = nfa("a.b.c").prefix_closed()
+    for word in ([], ["a"], ["a", "b"], ["a", "b", "c"]):
+        assert closed.accepts(word)
+    assert not closed.accepts(["b"])
+    assert not closed.accepts(["a", "b", "c", "d"])
+
+
+def test_some_word_is_prefix_of():
+    # Proposition 3's primitive.
+    assert some_word_is_prefix_of(nfa("a"), nfa("a.b"))
+    assert some_word_is_prefix_of(nfa("a.b"), nfa("a.b"))  # equality counts
+    assert not some_word_is_prefix_of(nfa("a.b"), nfa("a"))
+    assert some_word_is_prefix_of(nfa("a.any*"), nfa("a.x.y.z"))
+
+
+def test_prefix_with_descendant_languages():
+    nearby = from_linear_steps(steps_of("/hotels/hotel/nearby", "nearby"))
+    rating = from_linear_steps(
+        steps_of("/hotels/hotel/nearby//restaurant/rating", "rating")
+    )
+    assert some_word_is_prefix_of(nearby, rating)
+    assert not some_word_is_prefix_of(rating, nearby)

@@ -1,0 +1,186 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.axml.xmlio import serialize_document
+from repro.cli import load_services, main
+from repro.workloads.hotels import HOTELS_SCHEMA_TEXT, figure_1_document
+
+SERVICES_XML = """<services>
+  <service name="getRating" in="data" out="data">
+    <case key="22 Madison Av.">2</case>
+    <case key="13 Penn St.">5</case>
+    <default>3</default>
+  </service>
+  <service name="getNearbyRestos" in="data" out="restaurant*" latency="0.01">
+    <case key="75, 2nd Av.">
+      <restaurant><name>Jo Mama</name><address>75, 2nd Av.</address>
+        <rating>5</rating></restaurant>
+    </case>
+    <default/>
+  </service>
+  <service name="getNearbyMuseums" in="data" out="museum*"><default/></service>
+  <service name="getHotels" in="data" out="hotel*" push="false">
+    <default/>
+  </service>
+</services>"""
+
+QUERY = (
+    '/hotels/hotel[name="Best Western"][rating="5"]'
+    '/nearby//restaurant[name=$X][address=$Y][rating="5"]'
+)
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "hotels.xml").write_text(
+        serialize_document(figure_1_document())
+    )
+    (tmp_path / "hotels.schema").write_text(HOTELS_SCHEMA_TEXT)
+    (tmp_path / "services.xml").write_text(SERVICES_XML)
+    return tmp_path
+
+
+def test_load_services_builds_table_services(workspace):
+    registry = load_services(str(workspace / "services.xml"))
+    assert set(registry.names()) == {
+        "getHotels",
+        "getNearbyMuseums",
+        "getNearbyRestos",
+        "getRating",
+    }
+    restos = registry.resolve("getNearbyRestos")
+    assert restos.latency_s == 0.01
+    forest = restos.produce([_value_param("75, 2nd Av.")])
+    assert forest[0].label == "restaurant"
+    assert registry.resolve("getHotels").supports_push is False
+    assert registry.resolve("getRating").produce(
+        [_value_param("unknown")]
+    )[0].label == "3"
+
+
+def _value_param(text):
+    from repro.axml.node import value
+
+    return value(text)
+
+
+def test_eval_command(workspace, capsys):
+    code = main(
+        [
+            "eval",
+            "--document", str(workspace / "hotels.xml"),
+            "--schema", str(workspace / "hotels.schema"),
+            "--services", str(workspace / "services.xml"),
+            "--strategy", "lazy-nfq-typed",
+            "--query", QUERY,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Jo Mama" in out
+    assert "calls=" in out
+    assert "<results>" in out
+
+
+def test_eval_saves_rewritten_document(workspace, capsys):
+    target = workspace / "rewritten.xml"
+    main(
+        [
+            "eval",
+            "--document", str(workspace / "hotels.xml"),
+            "--services", str(workspace / "services.xml"),
+            "--strategy", "lazy-nfq",
+            "--query", QUERY,
+            "--save-document", str(target),
+        ]
+    )
+    text = target.read_text()
+    assert "Jo Mama" in text  # the invoked result was spliced in
+    assert "axml:call" in text  # irrelevant calls remain intensional
+    assert 'service="getNearbyMuseums"' in text
+
+
+def test_validate_command_ok(workspace, capsys):
+    code = main(
+        [
+            "validate",
+            "--document", str(workspace / "hotels.xml"),
+            "--schema", str(workspace / "hotels.schema"),
+        ]
+    )
+    assert code == 0
+    assert "valid" in capsys.readouterr().out
+
+
+def test_validate_command_flags_violations(workspace, capsys):
+    (workspace / "bad.xml").write_text("<hotels><hotel><name>x</name></hotel></hotels>")
+    code = main(
+        [
+            "validate",
+            "--document", str(workspace / "bad.xml"),
+            "--schema", str(workspace / "hotels.schema"),
+        ]
+    )
+    assert code == 1
+    assert "violation" in capsys.readouterr().out
+
+
+def test_analyze_command(workspace, capsys):
+    code = main(
+        [
+            "analyze",
+            "--query", '/hotels/hotel[rating="5"]/name',
+            "--schema", str(workspace / "hotels.schema"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "linear path queries" in out
+    assert "node-focused queries" in out
+    assert "layers" in out
+    assert "termination" in out and "acyclic" in out
+
+
+def test_services_file_errors(tmp_path):
+    bad = tmp_path / "bad.xml"
+    bad.write_text("<services><service><default/></service></services>")
+    with pytest.raises(ValueError):
+        load_services(str(bad))
+    bad.write_text(
+        '<services><service name="s"><case>x</case></service></services>'
+    )
+    with pytest.raises(ValueError):
+        load_services(str(bad))
+
+
+def test_compare_command(workspace, capsys):
+    code = main(
+        [
+            "compare",
+            "--document", str(workspace / "hotels.xml"),
+            "--schema", str(workspace / "hotels.schema"),
+            "--services", str(workspace / "services.xml"),
+            "--query", QUERY,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    for name in ("naive", "top-down", "lazy-lpq", "lazy-nfq", "lazy-nfq-typed"):
+        assert name in out
+
+
+def test_eval_speculative_flag(workspace, capsys):
+    code = main(
+        [
+            "eval",
+            "--document", str(workspace / "hotels.xml"),
+            "--services", str(workspace / "services.xml"),
+            "--strategy", "lazy-nfq",
+            "--speculative",
+            "--query", QUERY,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "+spec" in out

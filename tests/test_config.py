@@ -1,0 +1,79 @@
+"""Unit tests for EngineConfig and Metrics."""
+
+import pytest
+
+from repro.lazy.config import EngineConfig, FaultPolicy, Strategy, TypingMode
+from repro.lazy.metrics import Metrics
+from repro.services.service import PushMode
+
+
+def test_defaults_are_the_papers_full_system():
+    config = EngineConfig()
+    assert config.strategy is Strategy.LAZY_NFQ
+    assert config.use_layers and config.parallel
+    assert not config.use_fguide
+    assert config.push_mode is PushMode.NONE
+    assert config.typing is TypingMode.NONE
+    assert config.fault_policy is FaultPolicy.RAISE
+
+
+def test_typed_strategy_defaults_to_lenient_oracle():
+    config = EngineConfig(strategy=Strategy.LAZY_NFQ_TYPED)
+    assert config.typing is TypingMode.LENIENT
+    explicit = EngineConfig(
+        strategy=Strategy.LAZY_NFQ_TYPED, typing=TypingMode.EXACT
+    )
+    assert explicit.typing is TypingMode.EXACT
+
+
+def test_baselines_disable_layering():
+    assert EngineConfig(strategy=Strategy.NAIVE).use_layers is False
+    top_down = EngineConfig(strategy=Strategy.TOP_DOWN)
+    assert top_down.use_layers is False
+    assert top_down.parallel is False
+
+
+@pytest.mark.parametrize(
+    "kwargs,expected",
+    [
+        (dict(strategy=Strategy.LAZY_NFQ), "lazy-nfq"),
+        (
+            dict(strategy=Strategy.LAZY_NFQ_TYPED),
+            "lazy-nfq-typed+lenient",
+        ),
+        (
+            dict(strategy=Strategy.LAZY_NFQ, use_fguide=True),
+            "lazy-nfq+fguide",
+        ),
+        (
+            dict(strategy=Strategy.LAZY_NFQ, push_mode=PushMode.BINDINGS),
+            "lazy-nfq+push-bindings",
+        ),
+        (
+            dict(strategy=Strategy.LAZY_NFQ, speculative=True),
+            "lazy-nfq+spec",
+        ),
+    ],
+)
+def test_labels(kwargs, expected):
+    assert EngineConfig(**kwargs).label == expected
+
+
+def test_metrics_derived_quantities():
+    metrics = Metrics(
+        strategy="x",
+        analysis_wall_s=0.5,
+        simulated_sequential_s=2.0,
+        simulated_parallel_s=0.75,
+        bytes_sent=100,
+        bytes_received=400,
+    )
+    assert metrics.total_time_s == 2.5
+    assert metrics.total_time_parallel_s == 1.25
+    assert metrics.total_bytes == 500
+
+
+def test_metrics_summary_mentions_key_figures():
+    metrics = Metrics(strategy="demo", calls_invoked=7, result_rows=3)
+    text = metrics.summary()
+    assert "demo" in text and "calls=7" in text and "rows=3" in text

@@ -1,0 +1,80 @@
+"""Unit tests for tree-pattern containment and de-duplication."""
+
+from repro.pattern.containment import (
+    dedupe_patterns,
+    structurally_identical,
+    subsumes,
+)
+from repro.pattern.parse import parse_pattern
+
+
+def q(text):
+    return parse_pattern(text)
+
+
+def test_identical_queries_subsume_each_other():
+    assert subsumes(q("/a/b"), q("/a/b"))
+    assert subsumes(q("/a/b/()"), q("/a/b/()"))
+
+
+def test_descendant_subsumes_child_step():
+    general, specific = q("/a//b"), q("/a/b")
+    assert subsumes(general, specific)
+    assert not subsumes(specific, general)
+
+
+def test_star_subsumes_label():
+    assert subsumes(q("/a/*"), q("/a/b"))
+    assert not subsumes(q("/a/b"), q("/a/*"))
+
+
+def test_star_function_subsumes_named_function():
+    assert subsumes(q("/a/()"), q("/a/f()"))
+    assert not subsumes(q("/a/f()"), q("/a/()"))
+    assert subsumes(q("/a/(f|g)()"), q("/a/f()"))
+    assert not subsumes(q("/a/f()"), q("/a/(f|g)()"))
+
+
+def test_extra_predicate_makes_query_more_specific():
+    assert subsumes(q("/a/b"), q("/a[c]/b"))
+    assert not subsumes(q("/a[c]/b"), q("/a/b"))
+
+
+def test_result_nodes_must_align():
+    # Same shape, different result node: neither contains the other.
+    assert not subsumes(q("/a/b!/c"), q("/a/b/c"))
+    assert not subsumes(q("/a/b/c"), q("/a/b!/c"))
+
+
+def test_value_constants_must_match():
+    assert subsumes(q('/a["1"]'), q('/a["1"]'))
+    assert not subsumes(q('/a["1"]'), q('/a["2"]'))
+
+
+def test_descendant_maps_to_long_paths():
+    assert subsumes(q("/a//d"), q("/a/b/c/d"))
+    assert subsumes(q("/a//d"), q("/a//b/d"))
+
+
+def test_queries_with_variables_fall_back_to_identity():
+    v1, v2 = q("/a[b=$X]"), q("/a[b=$X]")
+    assert subsumes(v1, v2)  # structurally identical
+    assert not subsumes(q("/a//b[c=$X]"), q("/a/b[c=$X]"))  # conservative
+
+
+def test_structurally_identical_is_strict():
+    assert structurally_identical(q("/a/b"), q("/a/b"))
+    assert not structurally_identical(q("/a/b"), q("/a//b"))
+    assert not structurally_identical(q("/a/b"), q("/a/b!/c"))
+
+
+def test_dedupe_drops_subsumed_queries():
+    queries = [q("/a/b/()"), q("/a//()"), q("/a/b/()"), q("/x/()")]
+    kept = dedupe_patterns(queries)
+    rendered = {p.to_string() for p in kept}
+    assert rendered == {"/a[//()!]", "/x[()!]"}
+
+
+def test_dedupe_keeps_incomparable_queries():
+    queries = [q("/a/b"), q("/a/c")]
+    assert len(dedupe_patterns(queries)) == 2

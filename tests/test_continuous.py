@@ -1,0 +1,104 @@
+"""Tests for continuous queries over evolving documents."""
+
+from repro.axml.builder import C, E, V, build_document
+from repro.axml.node import call, element, value
+from repro.lazy.config import EngineConfig, Strategy
+from repro.lazy.continuous import ContinuousQuery
+from repro.lazy.engine import LazyQueryEvaluator
+from repro.pattern.parse import parse_pattern
+from repro.services.catalog import TableService
+from repro.services.registry import ServiceBus, ServiceRegistry
+
+
+def make_world():
+    document = build_document(
+        E("feed", E("item", E("tag", V("hot")), E("title", V("first"))))
+    )
+    registry = ServiceRegistry(
+        [
+            TableService(
+                "getItems",
+                {
+                    "k1": [
+                        E("item", E("tag", V("hot")), E("title", V("remote-1")))
+                    ],
+                    "k2": [
+                        E("item", E("tag", V("cold")), E("title", V("remote-2")))
+                    ],
+                },
+            )
+        ]
+    )
+    evaluator = LazyQueryEvaluator(
+        ServiceBus(registry), config=EngineConfig(strategy=Strategy.LAZY_NFQ)
+    )
+    query = parse_pattern('/feed/item[tag="hot"]/title/$T')
+    return document, evaluator, query
+
+
+def test_initial_evaluation_and_caching():
+    document, evaluator, query = make_world()
+    standing = ContinuousQuery(evaluator, query, document)
+    assert standing.value_rows() == {("first",)}
+    assert standing.refresh_count == 1
+    # No mutation: refresh is a cache hit.
+    standing.refresh()
+    standing.refresh()
+    assert standing.refresh_count == 1
+    assert not standing.is_stale
+
+
+def test_insertion_triggers_reevaluation():
+    document, evaluator, query = make_world()
+    standing = ContinuousQuery(evaluator, query, document)
+    document.insert_subtree(
+        document.root,
+        element("item", element("tag", value("hot")),
+                element("title", value("second"))),
+    )
+    assert standing.is_stale
+    assert standing.value_rows() == {("first",), ("second",)}
+    assert standing.refresh_count == 2
+
+
+def test_new_calls_are_lazily_pulled_in():
+    document, evaluator, query = make_world()
+    standing = ContinuousQuery(evaluator, query, document)
+    document.insert_subtree(document.root, call("getItems", value("k1")))
+    assert standing.value_rows() == {("first",), ("remote-1",)}
+    # The call was invoked during the refresh (the document mutated),
+    # but the post-evaluation version is recorded: no further refresh.
+    count = standing.refresh_count
+    standing.refresh()
+    assert standing.refresh_count == count
+
+
+def test_irrelevant_updates_still_reconverge():
+    document, evaluator, query = make_world()
+    standing = ContinuousQuery(evaluator, query, document)
+    document.insert_subtree(document.root, call("getItems", value("k2")))
+    rows = standing.value_rows()
+    assert rows == {("first",)}  # cold item does not qualify
+    # The call was still relevant positionally and got invoked once;
+    # afterwards the standing query is quiescent again.
+    assert standing.peek().metrics.calls_invoked == 1
+    count = standing.refresh_count
+    standing.refresh()
+    assert standing.refresh_count == count
+
+
+def test_removal_triggers_reevaluation():
+    document, evaluator, query = make_world()
+    standing = ContinuousQuery(evaluator, query, document)
+    first_item = document.root.children[0]
+    document.remove_subtree(first_item)
+    assert standing.value_rows() == set()
+
+
+def test_lazy_eager_flag():
+    document, evaluator, query = make_world()
+    standing = ContinuousQuery(evaluator, query, document, eager=False)
+    assert standing.peek() is None
+    assert standing.refresh_count == 0
+    standing.refresh()
+    assert standing.peek() is not None

@@ -1,0 +1,154 @@
+"""Unit tests for Document: identity, the rewrite step, observers."""
+
+import pytest
+
+from repro.axml.builder import C, E, V, build_document
+from repro.axml.document import Document
+from repro.axml.node import call, element, value
+
+
+def make_doc():
+    return build_document(
+        E("root", E("a", C("f", V("p"))), C("g")),
+        name="t",
+    )
+
+
+def test_root_must_be_element():
+    with pytest.raises(ValueError):
+        Document(value("x"))
+    with pytest.raises(ValueError):
+        Document(call("f"))
+
+
+def test_root_must_be_detached():
+    parent = element("p", element("r"))
+    with pytest.raises(ValueError):
+        Document(parent.children[0])
+
+
+def test_node_ids_are_assigned_in_document_order():
+    doc = make_doc()
+    ids = [n.node_id for n in doc.iter_nodes()]
+    assert ids == sorted(ids)
+    assert ids[0] == 0
+
+
+def test_node_lookup_by_id():
+    doc = make_doc()
+    for node in doc.iter_nodes():
+        assert doc.node(node.node_id) is node
+
+
+def test_contains_tracks_membership():
+    doc = make_doc()
+    g = doc.function_nodes()[1]
+    assert doc.contains(g)
+    doc.replace_call(g, [])
+    assert not doc.contains(g)
+
+
+def test_function_nodes_in_document_order():
+    doc = make_doc()
+    assert [n.label for n in doc.function_nodes()] == ["f", "g"]
+
+
+def test_stats_counts_kinds_and_depth():
+    doc = make_doc()
+    stats = doc.stats()
+    assert stats.total_nodes == 5
+    assert stats.element_nodes == 2
+    assert stats.function_nodes == 2
+    assert stats.value_nodes == 1
+    assert stats.max_depth == 3
+    assert 0 < stats.intensional_fraction < 1
+
+
+def test_replace_call_splices_forest_in_position():
+    doc = build_document(E("root", V("before"), C("f"), V("after")))
+    f = doc.function_nodes()[0]
+    doc.replace_call(f, [element("x"), element("y")])
+    labels = [n.label for n in doc.root.children]
+    assert labels == ["before", "x", "y", "after"]
+
+
+def test_replace_call_with_empty_forest_just_removes():
+    doc = make_doc()
+    f = doc.function_nodes()[0]
+    doc.replace_call(f, [])
+    assert doc.function_nodes()[0].label == "g"
+    assert doc.stats().total_nodes == 3
+
+
+def test_replace_call_assigns_fresh_ids_and_provenance():
+    doc = make_doc()
+    f = doc.function_nodes()[0]
+    f_id = f.node_id
+    new_calls = doc.replace_call(f, [element("r", call("h"))])
+    assert new_calls[0].label == "h"
+    r = doc.root.children[0].children[0]
+    assert r.label == "r"
+    assert r.node_id is not None and r.node_id > 4
+    assert r.produced_by == f_id
+
+
+def test_transitively_produced_by_follows_chains():
+    doc = build_document(E("root", C("f")))
+    f = doc.function_nodes()[0]
+    f_id = f.node_id
+    (g,) = doc.replace_call(f, [element("mid", call("g"))])
+    g_id = g.node_id
+    doc.replace_call(g, [element("leaf")])
+    leaf = [n for n in doc.iter_nodes() if n.label == "leaf"][0]
+    assert doc.transitively_produced_by(leaf, g_id)
+    assert doc.transitively_produced_by(leaf, f_id)
+    assert not doc.transitively_produced_by(doc.root, f_id)
+
+
+def test_replace_call_rejects_foreign_and_data_nodes():
+    doc = make_doc()
+    with pytest.raises(ValueError):
+        doc.replace_call(call("loose"), [])
+    with pytest.raises(ValueError):
+        doc.replace_call(doc.root.children[0], [])
+
+
+def test_replace_call_rejects_attached_forest():
+    doc = make_doc()
+    f = doc.function_nodes()[0]
+    holder = element("h", element("x"))
+    with pytest.raises(ValueError):
+        doc.replace_call(f, [holder.children[0]])
+
+
+class _Recorder:
+    def __init__(self):
+        self.removed = []
+        self.added = []
+
+    def call_removed(self, document, node):
+        self.removed.append(node.label)
+
+    def calls_added(self, document, nodes):
+        self.added.extend(n.label for n in nodes)
+
+
+def test_observers_see_removal_and_additions():
+    doc = make_doc()
+    rec = _Recorder()
+    doc.add_observer(rec)
+    f = doc.function_nodes()[0]
+    doc.replace_call(f, [element("r", call("h"), call("k"))])
+    assert rec.removed == ["f"]
+    assert rec.added == ["h", "k"]
+    doc.remove_observer(rec)
+    doc.replace_call(doc.function_nodes()[0], [])
+    assert rec.removed == ["f"]  # no longer notified
+
+
+def test_copy_is_independent():
+    doc = make_doc()
+    twin = doc.copy()
+    twin.replace_call(twin.function_nodes()[0], [])
+    assert len(doc.function_nodes()) == 2
+    assert len(twin.function_nodes()) == 1

@@ -1,0 +1,115 @@
+"""Tests for generic document updates and their observer notifications.
+
+Section 6.2: the F-guide "must also be maintained as the document
+evolves.  This maintenance must be performed if the document is updated
+but also during query evaluation" — so insertions/removals outside call
+invocation must keep observers (and hence guides) in sync.
+"""
+
+import pytest
+
+from repro.axml.builder import C, E, V, build_document
+from repro.axml.node import call, element, value
+from repro.lazy.fguide import FGuide
+
+
+@pytest.fixture
+def doc():
+    return build_document(
+        E("root", E("a", C("f")), E("b"))
+    )
+
+
+def test_insert_subtree_appends_by_default(doc):
+    b = doc.root.children[1]
+    doc.insert_subtree(b, element("x", value("1")))
+    assert [c.label for c in b.children] == ["x"]
+    x = b.children[0]
+    assert doc.contains(x)
+    assert x.node_id is not None
+
+
+def test_insert_subtree_at_position(doc):
+    doc.insert_subtree(doc.root, element("first"), position=0)
+    assert [c.label for c in doc.root.children] == ["first", "a", "b"]
+
+
+def test_insert_rejects_bad_targets(doc):
+    with pytest.raises(ValueError):
+        doc.insert_subtree(element("loose"), element("x"))
+    holder = element("h", element("child"))
+    with pytest.raises(ValueError):
+        doc.insert_subtree(doc.root, holder.children[0])
+    leaf_doc = build_document(E("r", V("text")))
+    with pytest.raises(ValueError):
+        leaf_doc.insert_subtree(leaf_doc.root.children[0], element("x"))
+
+
+def test_remove_subtree_detaches_and_unregisters(doc):
+    a = doc.root.children[0]
+    removed = doc.remove_subtree(a)
+    assert removed is a
+    assert a.parent is None
+    assert not doc.contains(a)
+    assert [c.label for c in doc.root.children] == ["b"]
+
+
+def test_remove_root_is_an_error(doc):
+    with pytest.raises(ValueError):
+        doc.remove_subtree(doc.root)
+
+
+class _Recorder:
+    def __init__(self):
+        self.added = []
+        self.removed = []
+
+    def calls_added(self, document, nodes):
+        self.added.extend(n.label for n in nodes)
+
+    def call_removed(self, document, node):
+        self.removed.append(node.label)
+
+
+def test_insert_notifies_about_embedded_calls(doc):
+    recorder = _Recorder()
+    doc.add_observer(recorder)
+    doc.insert_subtree(doc.root, element("n", call("g"), element("d", call("h"))))
+    assert recorder.added == ["g", "h"]
+
+
+def test_remove_notifies_about_lost_calls(doc):
+    recorder = _Recorder()
+    doc.add_observer(recorder)
+    doc.remove_subtree(doc.root.children[0])  # subtree 'a' holds call f
+    assert recorder.removed == ["f"]
+
+
+def test_fguide_tracks_inserts_and_removals(doc):
+    guide = FGuide(doc)
+    assert guide.call_count() == 1
+
+    b = doc.root.children[1]
+    doc.insert_subtree(b, element("wrap", call("g")))
+    assert guide.call_count() == 2
+    assert ("root", "b", "wrap") in guide.paths()
+
+    doc.remove_subtree(doc.root.children[0])  # drops call f
+    assert guide.call_count() == 1
+    assert ("root", "a") not in guide.paths()
+
+    guide.rebuild()
+    assert guide.call_count() == 1  # incremental state == rebuilt state
+    guide.detach()
+
+
+def test_fguide_consistency_under_mixed_mutations(doc):
+    guide = FGuide(doc)
+    b = doc.root.children[1]
+    doc.insert_subtree(b, element("wrap", call("g", value("k"))))
+    f = [n for n in doc.function_nodes() if n.label == "f"][0]
+    doc.replace_call(f, [element("out", call("h"))])
+    incremental = (set(guide.paths()), guide.call_count())
+    guide.rebuild()
+    assert (set(guide.paths()), guide.call_count()) == incremental
+    guide.detach()

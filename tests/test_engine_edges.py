@@ -1,0 +1,84 @@
+"""Engine edge cases: shared buses, root mismatches, repeated use."""
+
+from repro.axml.builder import C, E, V, build_document
+from repro.lazy.config import EngineConfig, Strategy
+from repro.lazy.engine import LazyQueryEvaluator
+from repro.pattern.parse import parse_pattern
+from repro.services.catalog import StaticService
+from repro.services.registry import ServiceBus, ServiceRegistry
+
+
+def simple_bus():
+    return ServiceBus(
+        ServiceRegistry([StaticService("fetch", [E("x", V("1"))])])
+    )
+
+
+def test_query_root_label_mismatch_invokes_nothing():
+    doc = build_document(E("r", C("fetch")))
+    bus = simple_bus()
+    out = LazyQueryEvaluator(
+        bus, config=EngineConfig(strategy=Strategy.LAZY_NFQ)
+    ).evaluate(parse_pattern("/other/x"), doc)
+    assert bus.log.call_count == 0
+    assert len(out.rows) == 0
+    assert out.metrics.completed
+
+
+def test_shared_bus_metrics_are_per_evaluation():
+    bus = simple_bus()
+    engine = LazyQueryEvaluator(
+        bus, config=EngineConfig(strategy=Strategy.LAZY_NFQ)
+    )
+    first = engine.evaluate(
+        parse_pattern("/r/x/$V"), build_document(E("r", C("fetch")))
+    )
+    second = engine.evaluate(
+        parse_pattern("/r/x/$V"), build_document(E("r", C("fetch")))
+    )
+    # The bus log accumulates across evaluations...
+    assert bus.log.call_count == 2
+    # ...but each outcome only accounts its own traffic.
+    assert first.metrics.total_bytes == second.metrics.total_bytes
+    assert first.metrics.calls_invoked == second.metrics.calls_invoked == 1
+
+
+def test_engine_instance_is_reusable_across_queries():
+    bus = simple_bus()
+    engine = LazyQueryEvaluator(
+        bus, config=EngineConfig(strategy=Strategy.LAZY_NFQ)
+    )
+    doc = build_document(E("r", C("fetch"), E("y", V("2"))))
+    a = engine.evaluate(parse_pattern("/r/x/$V"), doc)
+    b = engine.evaluate(parse_pattern("/r/y/$V"), doc)
+    assert a.value_rows() == {("1",)}
+    assert b.value_rows() == {("2",)}
+
+
+def test_star_root_query_over_any_document():
+    doc = build_document(E("whatever", E("deep", C("fetch"))))
+    bus = simple_bus()
+    out = LazyQueryEvaluator(
+        bus, config=EngineConfig(strategy=Strategy.LAZY_NFQ)
+    ).evaluate(parse_pattern("//x/$V"), doc)
+    assert out.value_rows() == {("1",)}
+
+
+def test_result_xml_serialisation_shapes():
+    doc = build_document(E("r", C("fetch")))
+    bus = simple_bus()
+    out = LazyQueryEvaluator(
+        bus, config=EngineConfig(strategy=Strategy.LAZY_NFQ)
+    ).evaluate(parse_pattern("/r/x"), doc)
+    xml = out.to_xml()
+    assert xml.startswith("<results>")
+    assert "<x>1</x>" in xml  # element result serialised with subtree
+
+
+def test_empty_result_xml():
+    doc = build_document(E("r"))
+    bus = simple_bus()
+    out = LazyQueryEvaluator(
+        bus, config=EngineConfig(strategy=Strategy.LAZY_NFQ)
+    ).evaluate(parse_pattern("/r/x"), doc)
+    assert out.to_xml() in ("<results />", "<results/>")

@@ -1,0 +1,116 @@
+"""Unit tests for the lenient (graph-schema) oracle (Section 6.1)."""
+
+import pytest
+
+from repro.pattern.nodes import EdgeKind
+from repro.pattern.parse import parse_pattern
+from repro.schema.graphschema import GraphSchema, LenientSatisfiability
+from repro.schema.regex import DATA
+from repro.schema.satisfiability import ExactSatisfiability
+from repro.schema.schema import parse_schema
+from repro.workloads.hotels import HOTELS_SCHEMA_TEXT
+
+
+@pytest.fixture
+def schema():
+    return parse_schema(HOTELS_SCHEMA_TEXT)
+
+
+@pytest.fixture
+def lenient(schema):
+    return LenientSatisfiability(schema)
+
+
+def test_graph_edges_follow_derived_children(schema):
+    graph = GraphSchema(schema)
+    assert graph.edge_exists("hotel", "name")
+    assert graph.edge_exists("nearby", "restaurant")  # via getNearbyRestos
+    assert not graph.edge_exists("museum", "rating")
+    letters, top = graph.successors("rating")
+    assert letters == {DATA} and not top
+
+
+def test_reachability_closure(schema):
+    graph = GraphSchema(schema)
+    below, top = graph.reachable_below("hotels")
+    assert {"hotel", "restaurant", "museum", DATA} <= below
+    assert not top
+
+
+def test_agrees_with_exact_on_simple_cases(schema, lenient):
+    exact = ExactSatisfiability(schema)
+    cases = [
+        ("getNearbyRestos", '/restaurant[rating="5"]', EdgeKind.CHILD),
+        ("getNearbyMuseums", '/restaurant[rating="5"]', EdgeKind.CHILD),
+        ("getHotels", "/restaurant", EdgeKind.DESCENDANT),
+        ("getHotels", "/restaurant", EdgeKind.CHILD),
+        ("getRating", "/hotel", EdgeKind.CHILD),
+    ]
+    for fname, qtext, edge in cases:
+        q = parse_pattern(qtext)
+        assert lenient.function_satisfies(fname, q, edge) == (
+            exact.function_satisfies(fname, q, edge)
+        ), (fname, qtext)
+
+
+def test_lenient_overapproximates_exclusive_alternation():
+    schema = parse_schema(
+        """
+        functions:
+          f = [in: data, out: root]
+        elements:
+          root = (a | b)
+          a = data
+          b = data
+        """
+    )
+    lenient = LenientSatisfiability(schema)
+    exact = ExactSatisfiability(schema)
+    q = parse_pattern("/root[a][b]")
+    assert lenient.function_satisfies("f", q)       # ignores exclusivity
+    assert not exact.function_satisfies("f", q)     # the exact one does not
+
+
+def test_lenient_is_never_stricter_than_exact(schema, lenient):
+    """Safety: lenient yes ⊇ exact yes on a grid of subqueries."""
+    exact = ExactSatisfiability(schema)
+    queries = [
+        "/hotel",
+        '/hotel[rating="5"]',
+        "/restaurant[name=$X]",
+        "/museum/name",
+        "/nearby//restaurant",
+        "/rating",
+    ]
+    for fname in schema.function_names():
+        for qtext in queries:
+            for edge in (EdgeKind.CHILD, EdgeKind.DESCENDANT):
+                q = parse_pattern(qtext)
+                if exact.function_satisfies(fname, q, edge):
+                    assert lenient.function_satisfies(fname, q, edge), (
+                        fname,
+                        qtext,
+                        edge,
+                    )
+
+
+def test_any_output_short_circuits(lenient):
+    assert lenient.function_satisfies("unknown", parse_pattern("/x[y]/z"))
+
+
+def test_value_patterns(lenient):
+    from repro.pattern.nodes import PatternKind, PatternNode
+    from repro.pattern.pattern import TreePattern
+
+    vp = TreePattern(PatternNode(PatternKind.VALUE, "5"))
+    assert lenient.function_satisfies("getRating", vp)
+    assert not lenient.function_satisfies("getNearbyMuseums", vp)
+
+
+def test_rejects_extended_patterns(lenient):
+    from repro.pattern.nodes import pelem, pfunc, por
+    from repro.pattern.pattern import TreePattern
+
+    bad = TreePattern(pelem("hotel", por(pelem("a"), pfunc(None))))
+    with pytest.raises(ValueError):
+        lenient.function_satisfies("getHotels", bad)

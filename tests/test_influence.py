@@ -1,0 +1,134 @@
+"""Unit tests for the may-influence relation (Prop. 3) and condition (*)."""
+
+import pytest
+
+from repro.lazy.influence import InfluenceAnalyzer
+from repro.lazy.relevance import build_nfqs
+from repro.pattern.parse import parse_pattern
+from repro.workloads.hotels import paper_query
+
+
+def analyzer_for(query):
+    nfqs = build_nfqs(query)
+    return InfluenceAnalyzer(nfqs), nfqs
+
+
+def by_label(nfqs, query, label, which=0):
+    nodes = {n.uid: n for n in query.nodes()}
+    out = [
+        rq
+        for rq in nfqs
+        if any(nodes[uid].label == label for uid in rq.all_target_uids)
+    ]
+    return out[which]
+
+
+def test_shallower_positions_influence_deeper_ones():
+    query = paper_query()
+    analyzer, nfqs = analyzer_for(query)
+    hotel = by_label(nfqs, query, "hotel")
+    restaurant = by_label(nfqs, query, "restaurant")
+    assert analyzer.may_influence(hotel, restaurant)
+    assert not analyzer.may_influence(restaurant, hotel)
+
+
+def test_equal_positions_influence_each_other():
+    # Calls at a position can return calls at that very position.
+    q = parse_pattern("/root[a][b]")
+    nfqs = build_nfqs(q)
+    analyzer = InfluenceAnalyzer(nfqs)
+    a = by_label(nfqs, q, "a")
+    b = by_label(nfqs, q, "b")
+    assert analyzer.may_influence(a, b)
+    assert analyzer.may_influence(b, a)
+
+
+def test_figure_6_influence_pattern():
+    """The paper: NFQ (a) [hotel] may influence (b) [restaurant] and
+    (c) [rating value], which are mutually incomparable in the
+    original example — but with the descendant-position correction,
+    restaurant positions (nearby//*) do cover rating positions."""
+    query = paper_query()
+    analyzer, nfqs = analyzer_for(query)
+    hotel = by_label(nfqs, query, "hotel")
+    restaurant = by_label(nfqs, query, "restaurant")
+    rating_value = by_label(nfqs, query, "5", which=0)
+    assert analyzer.may_influence(hotel, restaurant)
+    assert analyzer.may_influence(hotel, rating_value)
+
+
+def test_sibling_branches_do_not_influence():
+    q = parse_pattern("/root/left/x[y]")
+    nfqs = build_nfqs(q)
+    analyzer = InfluenceAnalyzer(nfqs)
+    x = by_label(nfqs, q, "x")
+    y = by_label(nfqs, q, "y")
+    # y is below x: x's positions (root/left) prefix y's (root/left/x).
+    assert analyzer.may_influence(x, y)
+    assert not analyzer.may_influence(y, x)
+
+
+def test_descendant_tail_extends_influence():
+    q = parse_pattern("/root/a//b/c")
+    nfqs = build_nfqs(q)
+    analyzer = InfluenceAnalyzer(nfqs)
+    b = by_label(nfqs, q, "b")
+    c = by_label(nfqs, q, "c")
+    # b's positions are root/a/Σ*: they include c's positions entirely.
+    assert analyzer.may_influence(b, c)
+    assert analyzer.may_influence(c, b)  # c's position is one of b's
+
+
+def test_influence_edges_cover_all_pairs():
+    query = paper_query()
+    analyzer, nfqs = analyzer_for(query)
+    edges = analyzer.influence_edges()
+    assert set(edges) == {rq.target_uid for rq in nfqs}
+    hotel = by_label(nfqs, query, "hotel")
+    assert edges[hotel.target_uid]  # influences someone
+
+
+def test_position_overlap_and_independence():
+    q = parse_pattern("/root[a/x][b/y]")
+    nfqs = build_nfqs(q)
+    analyzer = InfluenceAnalyzer(nfqs)
+    x = by_label(nfqs, q, "x")
+    y = by_label(nfqs, q, "y")
+    assert not analyzer.positions_overlap(x, y)
+    assert analyzer.is_independent(x, [x, y])
+    a = by_label(nfqs, q, "a")
+    b = by_label(nfqs, q, "b")
+    assert analyzer.positions_overlap(a, b)  # both at /root
+    assert not analyzer.is_independent(a, [a, b])
+
+
+def test_independence_ignores_self():
+    q = parse_pattern("/root/a")
+    nfqs = build_nfqs(q)
+    analyzer = InfluenceAnalyzer(nfqs)
+    (a,) = nfqs
+    assert analyzer.is_independent(a, [a])
+
+
+def test_section_4_3_example_same_layer():
+    """Two NFQs with linear paths //a and //b belong together: paths
+    ending in b may have a prefix ending in a, and vice versa."""
+    q = parse_pattern("/r[//a/p][//b/q]")
+    nfqs = build_nfqs(q)
+    analyzer = InfluenceAnalyzer(nfqs)
+    p = by_label(nfqs, q, "p")
+    qq = by_label(nfqs, q, "q")
+    assert analyzer.may_influence(p, qq)
+    assert analyzer.may_influence(qq, p)
+
+
+def test_section_4_4_example_independent():
+    """...and with linear paths //a vs //b the *intersection* is empty,
+    so both are independent (Section 4.4's closing example)."""
+    q = parse_pattern("/r[//a/p][//b/q]")
+    nfqs = build_nfqs(q)
+    analyzer = InfluenceAnalyzer(nfqs)
+    p = by_label(nfqs, q, "p")
+    qq = by_label(nfqs, q, "q")
+    assert analyzer.is_independent(p, [p, qq])
+    assert analyzer.is_independent(qq, [p, qq])

@@ -1,0 +1,133 @@
+"""Unit tests for NFQ layering (Section 4.3)."""
+
+from repro.lazy.influence import InfluenceAnalyzer
+from repro.lazy.layers import compute_layers
+from repro.lazy.relevance import build_nfqs, linear_path_queries
+from repro.pattern.parse import parse_pattern
+from repro.workloads.hotels import paper_query
+
+
+def labels_of_layer(layer, query):
+    nodes = {n.uid: n for n in query.nodes()}
+    out = set()
+    for rq in layer.queries:
+        for uid in rq.all_target_uids:
+            out.add(nodes[uid].label)
+    return out
+
+
+def test_empty_input_yields_no_layers():
+    assert compute_layers([]) == []
+
+
+def test_single_query_single_layer():
+    q = parse_pattern("/a/b")
+    nfqs = build_nfqs(q)
+    layers = compute_layers(nfqs)
+    assert len(layers) == len(nfqs)
+    assert all(len(l.queries) >= 1 for l in layers)
+
+
+def test_layers_are_topologically_ordered():
+    query = paper_query()
+    nfqs = build_nfqs(query)
+    analyzer = InfluenceAnalyzer(nfqs)
+    layers = compute_layers(nfqs, analyzer)
+    position = {}
+    for layer in layers:
+        for rq in layer.queries:
+            position[rq.target_uid] = layer.index
+    for source in nfqs:
+        for sink in nfqs:
+            if source.target_uid == sink.target_uid:
+                continue
+            if analyzer.may_influence(source, sink):
+                assert position[source.target_uid] <= position[sink.target_uid]
+
+
+def test_hotel_layer_precedes_restaurant_layer():
+    query = paper_query()
+    layers = compute_layers(build_nfqs(query))
+    hotel_layer = next(
+        l.index for l in layers if "hotel" in labels_of_layer(l, query)
+    )
+    restaurant_layer = next(
+        l.index for l in layers if "restaurant" in labels_of_layer(l, query)
+    )
+    assert hotel_layer < restaurant_layer
+
+
+def test_mutually_influencing_queries_share_a_layer():
+    q = parse_pattern("/root[a][b]")  # both conditions at position /root
+    nfqs = build_nfqs(q)
+    layers = compute_layers(nfqs)
+    ab_layers = [
+        l.index
+        for l in layers
+        if labels_of_layer(l, q) & {"a", "b"}
+    ]
+    assert len(set(ab_layers)) == 1
+
+
+def test_single_member_layer_is_trivially_independent():
+    q = parse_pattern("/a/b/c")
+    layers = compute_layers(build_nfqs(q))
+    for layer in layers:
+        if len(layer.queries) == 1:
+            assert layer.fully_parallel
+
+
+def test_overlapping_positions_break_independence():
+    q = parse_pattern("/root[a][b]")
+    layers = compute_layers(build_nfqs(q))
+    shared = [l for l in layers if len(l.queries) == 2]
+    assert shared
+    assert not shared[0].fully_parallel
+
+
+def test_disjoint_positions_become_parallel_singleton_layers():
+    # a/p and b/q conditions: the a/b NFQs share position /r (one
+    # non-parallel layer); p and q land in singleton layers of their
+    # own, trivially independent.
+    q = parse_pattern("/r[a/p][b/q]")
+    nfqs = build_nfqs(q)
+    layers = compute_layers(nfqs)
+    shapes = {frozenset(labels_of_layer(l, q)) for l in layers}
+    assert frozenset({"a", "b"}) in shapes
+    assert frozenset({"p"}) in shapes
+    assert frozenset({"q"}) in shapes
+    for layer in layers:
+        labels = labels_of_layer(layer, q)
+        if labels == {"a", "b"}:
+            assert not layer.fully_parallel
+        else:
+            assert layer.fully_parallel
+
+
+def test_descendant_targets_widen_positions_and_break_independence():
+    # With //a and //b conditions the *targets of a and b themselves*
+    # have position language r·Σ* (their calls can sit at any depth),
+    # which covers p's and q's positions too: nothing is independent.
+    q = parse_pattern("/r[//a/p][//b/q]")
+    nfqs = build_nfqs(q)
+    layers = compute_layers(nfqs)
+    (pq_layer,) = [
+        l for l in layers if {"p", "q"} <= labels_of_layer(l, q)
+    ]
+    assert all(flag is False for flag in pq_layer.independent.values())
+
+
+def test_layers_work_for_lpqs_too():
+    layers = compute_layers(linear_path_queries(paper_query()))
+    assert layers
+    assert sum(len(l.queries) for l in layers) == len(
+        linear_path_queries(paper_query())
+    )
+
+
+def test_deterministic_ordering():
+    query = paper_query()
+    a = [tuple(sorted(l.target_uids)) for l in compute_layers(build_nfqs(query))]
+    b = [tuple(sorted(l.target_uids)) for l in compute_layers(build_nfqs(query))]
+    # uids differ between builds, so compare shapes.
+    assert [len(x) for x in a] == [len(x) for x in b]

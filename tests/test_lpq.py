@@ -1,0 +1,109 @@
+"""Unit tests for LPQ generation (Section 3.1)."""
+
+from repro.lazy.relevance import RelevanceKind, linear_path_queries
+from repro.pattern.match import snapshot_result
+from repro.pattern.parse import parse_pattern
+from repro.workloads.hotels import figure_1_document, paper_query
+
+
+def test_lpqs_are_linear_and_end_in_star_functions():
+    lpqs = linear_path_queries(paper_query())
+    for lpq in lpqs:
+        assert lpq.kind is RelevanceKind.LPQ
+        # Linear: every node has exactly one child until the output.
+        node = lpq.pattern.root
+        while node.children:
+            assert len(node.children) == 1
+            node = node.children[0]
+        assert node.is_function
+        assert node.function_names is None
+        assert node.is_result
+
+
+def test_lpq_set_matches_paper_shape():
+    """Section 3.1 lists the LPQ family for the Figure 4 query."""
+    lpqs = linear_path_queries(paper_query(), dedupe=False)
+    rendered = {rq.pattern.to_string() for rq in lpqs}
+    expected = {
+        "/hotels[()!]",
+        "/hotels[hotel[()!]]",
+        "/hotels[hotel[name[()!]]]",
+        "/hotels[hotel[rating[()!]]]",
+        "/hotels[hotel[nearby[//()!]]]",
+        "/hotels[hotel[nearby[//restaurant[()!]]]]",
+        "/hotels[hotel[nearby[//restaurant[name[()!]]]]]",
+        "/hotels[hotel[nearby[//restaurant[address[()!]]]]]",
+        "/hotels[hotel[nearby[//restaurant[rating[()!]]]]]",
+    }
+    assert rendered == expected
+
+
+def test_lpq_dedup_absorbs_everything_below_a_descendant_star():
+    lpqs = linear_path_queries(paper_query())
+    rendered = {rq.pattern.to_string() for rq in lpqs}
+    # nearby//() subsumes all restaurant-level LPQs.
+    assert rendered == {
+        "/hotels[()!]",
+        "/hotels[hotel[()!]]",
+        "/hotels[hotel[name[()!]]]",
+        "/hotels[hotel[rating[()!]]]",
+        "/hotels[hotel[nearby[//()!]]]",
+    }
+
+
+def test_lpq_dedup_absorbs_shared_positions():
+    # name, rating, nearby, address all have parent 'hotel': one LPQ
+    # covers all three /hotels/hotel/() targets.
+    lpqs = linear_path_queries(paper_query())
+    hotel_level = [
+        rq
+        for rq in lpqs
+        if rq.pattern.to_string() == "/hotels[hotel[()!]]"
+    ]
+    assert len(hotel_level) == 1
+    assert len(hotel_level[0].all_target_uids) == 3
+
+
+def test_lpqs_retrieve_every_call_on_query_paths():
+    doc = figure_1_document()
+    lpqs = linear_path_queries(paper_query())
+    retrieved = set()
+    from repro.pattern.match import Matcher
+
+    for rq in lpqs:
+        for node in Matcher(rq.pattern).evaluate(doc).distinct_nodes():
+            retrieved.add(node.node_id)
+    # Everything except nothing: all calls of Figure 1 sit on query paths.
+    all_calls = {n.node_id for n in doc.function_nodes()}
+    assert retrieved == all_calls
+
+
+def test_lpqs_exclude_off_path_calls():
+    doc_query = parse_pattern("/root/a/b")
+    from repro.axml.builder import C, E, V, build_document
+    from repro.pattern.match import Matcher
+
+    doc = build_document(
+        E("root", E("a", C("onpath")), E("z", C("offpath")))
+    )
+    retrieved = set()
+    for rq in linear_path_queries(doc_query):
+        for node in Matcher(rq.pattern).evaluate(doc).distinct_nodes():
+            retrieved.add(node.label)
+    assert retrieved == {"onpath"}
+
+
+def test_lpq_descendant_tail_flag():
+    lpqs = linear_path_queries(paper_query())
+    tails = {
+        rq.pattern.to_string(): rq.descendant_tail for rq in lpqs
+    }
+    assert tails["/hotels[hotel[nearby[//()!]]]"] is True
+    assert tails["/hotels[hotel[()!]]"] is False
+
+
+def test_variables_and_values_become_stars_on_the_spine():
+    q = parse_pattern("/a/$X/b")
+    lpqs = linear_path_queries(q)
+    rendered = {rq.pattern.to_string() for rq in lpqs}
+    assert "/a[*[()!]]" in rendered  # the path through the variable

@@ -1,0 +1,102 @@
+"""Extended-query matching: OR nodes, and OR semantics as union."""
+
+import pytest
+
+from repro.axml.builder import C, E, V, build_document
+from repro.pattern.match import Matcher, snapshot_result
+from repro.pattern.nodes import (
+    EdgeKind,
+    PatternKind,
+    PatternNode,
+    pelem,
+    pfunc,
+    por,
+    pvalue,
+    pvar,
+)
+from repro.pattern.pattern import TreePattern
+
+
+@pytest.fixture
+def doc():
+    return build_document(
+        E(
+            "root",
+            E("item", E("tag", V("red")), E("price", V("5"))),
+            E("item", C("getTag"), E("price", V("7"))),
+            E("item", E("price", V("9"))),
+        )
+    )
+
+
+def or_query(result_on="price"):
+    """/root/item[tag OR ()]/price — condition satisfiable by data or call."""
+    tag_or_call = por(pelem("tag"), pfunc(None))
+    price = pelem(result_on, result=True)
+    return TreePattern(pelem("root", pelem("item", tag_or_call, price)))
+
+
+def test_or_matches_either_branch(doc):
+    got = snapshot_result(or_query(), doc)
+    # items 1 (has tag) and 2 (has a call) qualify; item 3 does not.
+    assert len(got) == 2
+
+
+def test_or_semantics_equal_union_of_expansions(doc):
+    q = or_query()
+    direct = {
+        tuple(n.node_id for n in row.nodes) for row in Matcher(q).evaluate(doc)
+    }
+    union = set()
+    for expansion in q.or_free_expansions():
+        for row in Matcher(expansion).evaluate(doc):
+            union.add(tuple(n.node_id for n in row.nodes))
+    assert direct == union
+
+
+def test_or_with_nested_conditions():
+    doc = build_document(
+        E(
+            "root",
+            E("a", E("b", E("c", V("1")))),
+            E("a", C("f")),
+            E("a", E("b")),
+        )
+    )
+    inner = por(pelem("b", por(pelem("c"), pfunc(None))), pfunc(None))
+    q = TreePattern(pelem("root", pelem("a", inner, result=True)))
+    got = snapshot_result(q, doc)
+    # a#1: b[c] matches; a#2: the call matches the outer (); a#3: b exists
+    # but c does not and there is no call below b -> no match.
+    assert len(got) == 2
+
+
+def test_or_alternatives_use_parent_edge():
+    doc = build_document(E("root", E("wrap", E("deep", E("tag")))))
+    q = TreePattern(
+        pelem(
+            "root",
+            por(pelem("tag"), pfunc(None), edge=EdgeKind.DESCENDANT),
+            result=True,
+        )
+    )
+    assert len(snapshot_result(q, doc)) == 1
+
+
+def test_variable_inside_or_branch():
+    doc = build_document(E("root", E("a", E("x", V("7"))), E("a", C("f"))))
+    var = pvar("V", result=True)
+    q = TreePattern(
+        pelem("root", pelem("a", por(pelem("x", var), pfunc(None)), result=False))
+    )
+    rows = snapshot_result(q, doc)
+    values = {row.binding("V") for row in rows}
+    # Only the data branch binds V; the call branch yields no complete row.
+    assert values == {"7"}
+
+
+def test_function_alternative_respects_name_sets(doc):
+    tag_or_g = por(pelem("tag"), pfunc(["gOnly"]))
+    q = TreePattern(pelem("root", pelem("item", tag_or_g, pelem("price", result=True))))
+    # item 2's call is 'getTag', not 'gOnly' -> only item 1 matches.
+    assert len(snapshot_result(q, doc)) == 1

@@ -1,0 +1,69 @@
+"""Direct tests for the naive fixpoint driver."""
+
+from repro.axml.builder import C, E, V, build_document
+from repro.lazy.naive import naive_fixpoint
+
+
+def invoker(results_by_service):
+    def invoke(call):
+        forest = [t.clone() for t in results_by_service.get(call.label, [])]
+        document = invoke.document
+        document.replace_call(call, forest)
+        return 0.1
+
+    return invoke
+
+
+def drive(document, results_by_service, max_invocations=100):
+    rounds = []
+    invoke = invoker(results_by_service)
+    invoke.document = document
+    count, completed = naive_fixpoint(
+        document, invoke, max_invocations, rounds.append
+    )
+    return count, completed, rounds
+
+
+def test_fixpoint_on_extensional_document():
+    doc = build_document(E("r", E("a", V("1"))))
+    count, completed, rounds = drive(doc, {})
+    assert (count, completed) == (0, True)
+    assert rounds == []
+
+
+def test_fixpoint_cascades_through_result_calls():
+    doc = build_document(E("r", C("outer")))
+    count, completed, rounds = drive(
+        doc,
+        {
+            "outer": [E("mid", C("inner"))],
+            "inner": [V("leaf")],
+        },
+    )
+    assert (count, completed) == (2, True)
+    assert len(rounds) == 2  # one sweep per nesting level
+    assert not doc.function_nodes()
+
+
+def test_budget_exhaustion_reports_incomplete():
+    doc = build_document(E("r", C("a"), C("b"), C("c")))
+    count, completed, rounds = drive(doc, {}, max_invocations=2)
+    assert count == 2
+    assert not completed
+    assert len(doc.function_nodes()) == 1
+
+
+def test_calls_consumed_as_parameters_are_skipped():
+    # `inner` is a parameter of `outer`; invoking outer (document order
+    # puts it first) detaches inner before its turn comes.
+    doc = build_document(E("r", C("outer", E("arg", C("inner")))))
+    count, completed, rounds = drive(
+        doc, {"outer": [V("done")], "inner": [V("never")]}
+    )
+    assert (count, completed) == (1, True)
+
+
+def test_round_times_are_reported():
+    doc = build_document(E("r", C("a"), C("b")))
+    _, _, rounds = drive(doc, {})
+    assert rounds == [[0.1, 0.1]]

@@ -1,0 +1,223 @@
+"""Unit tests for NFQ generation (Figure 5) and refinement (Section 5)."""
+
+import pytest
+
+from repro.axml.builder import C, E, V, build_document
+from repro.lazy.relevance import NFQBuilder, RelevanceKind, build_nfqs
+from repro.pattern.match import Matcher
+from repro.pattern.nodes import EdgeKind, PatternKind
+from repro.pattern.parse import parse_pattern
+from repro.schema.graphschema import LenientSatisfiability
+from repro.schema.satisfiability import ExactSatisfiability
+from repro.schema.schema import parse_schema
+from repro.workloads.hotels import (
+    HOTELS_SCHEMA_TEXT,
+    figure_1_document,
+    paper_query,
+)
+
+
+def nfq_by_target_label(nfqs, query, label):
+    nodes = {n.uid: n for n in query.nodes()}
+    out = [rq for rq in nfqs if nodes[rq.target_uid].label == label]
+    assert out, f"no NFQ for {label}"
+    return out[0]
+
+
+def test_every_non_root_node_gets_an_nfq():
+    query = paper_query()
+    nfqs = build_nfqs(query)
+    non_root = sum(1 for n in query.nodes() if n.parent is not None)
+    targets = set()
+    for rq in nfqs:
+        targets |= rq.all_target_uids
+    assert len(targets) == non_root
+    assert all(rq.kind is RelevanceKind.NFQ for rq in nfqs)
+
+
+def test_output_node_is_the_only_result():
+    for rq in build_nfqs(paper_query()):
+        results = rq.pattern.result_nodes()
+        assert results == [rq.output]
+        assert rq.output.kind is PatternKind.FUNCTION
+
+
+def test_path_nodes_have_no_function_alternative():
+    """Step 11 of Figure 5: ORs on the root-to-output path are removed."""
+    query = paper_query()
+    rq = nfq_by_target_label(build_nfqs(query), query, "restaurant")
+    spine = rq.pattern.spine_nodes(rq.output)
+    for node in spine[:-1]:
+        assert not node.is_or
+        assert node.kind is PatternKind.ELEMENT
+
+
+def test_condition_nodes_are_or_wrapped():
+    query = paper_query()
+    rq = nfq_by_target_label(build_nfqs(query), query, "restaurant")
+    hotel = rq.pattern.spine_nodes(rq.output)[1]
+    condition_kinds = {
+        c.children and c.is_or for c in hotel.children if c is not hotel
+    }
+    or_children = [c for c in hotel.children if c.is_or]
+    # name and rating conditions are OR(data, ()); nearby is on the spine.
+    assert len(or_children) == 2
+    for or_node in or_children:
+        kinds = {alt.kind for alt in or_node.children}
+        assert PatternKind.FUNCTION in kinds
+
+
+def test_or_wrapping_is_recursive():
+    q = parse_pattern("/a[b/c]/d")
+    nfqs = build_nfqs(q)
+    rq = nfq_by_target_label(nfqs, q, "d")
+    b_or = [c for c in rq.pattern.root.children if c.is_or][0]
+    b_data = [alt for alt in b_or.children if alt.kind is PatternKind.ELEMENT][0]
+    assert b_data.label == "b"
+    assert b_data.children[0].is_or  # c is OR-wrapped inside the data branch
+
+
+def test_output_edge_follows_target_edge():
+    query = paper_query()
+    nfqs = build_nfqs(query)
+    restaurant = nfq_by_target_label(nfqs, query, "restaurant")
+    assert restaurant.output.edge is EdgeKind.DESCENDANT
+    assert restaurant.descendant_tail
+    name = nfq_by_target_label(nfqs, query, "name")
+    assert name.output.edge is EdgeKind.CHILD
+
+
+def test_nfq_retrieves_exactly_the_relevant_calls_of_figure_1():
+    """Section 2's discussion: on Figure 1, the relevant calls are the
+    two getNearbyRestos/getRating of "Best Western" hotels with
+    compatible conditions, plus getHotels.  With our Figure 1 variant
+    (distinct hotel names), the relevant calls are those under the
+    first hotel plus getHotels."""
+    doc = figure_1_document()
+    nfqs = build_nfqs(paper_query())
+    retrieved = {}
+    for rq in nfqs:
+        for node in Matcher(rq.pattern).evaluate(doc).distinct_nodes():
+            retrieved[node.node_id] = node.label
+    # Hotel 1 ("Best Western", rating 5): its two nearby calls qualify.
+    # Hotels 2-4 have non-matching names -> all their calls irrelevant.
+    # getHotels can return new qualifying hotels.
+    assert sorted(retrieved.values()) == [
+        "getHotels",
+        "getNearbyMuseums",
+        "getNearbyRestos",
+    ]
+
+
+def test_conditions_satisfied_by_presence_of_calls():
+    # A hotel whose rating is an embedded call still qualifies: the ()
+    # alternative of the rating condition matches the call.
+    doc = build_document(
+        E(
+            "hotels",
+            E(
+                "hotel",
+                E("name", V("Best Western")),
+                E("address", V("x")),
+                E("rating", C("getRating", V("x"))),
+                E("nearby", C("getNearbyRestos", V("x"))),
+            ),
+        )
+    )
+    nfqs = build_nfqs(paper_query())
+    retrieved = set()
+    for rq in nfqs:
+        for node in Matcher(rq.pattern).evaluate(doc).distinct_nodes():
+            retrieved.add(node.label)
+    assert retrieved == {"getRating", "getNearbyRestos"}
+
+
+def test_refined_nfqs_list_concrete_function_names():
+    schema = parse_schema(HOTELS_SCHEMA_TEXT)
+    query = paper_query()
+    builder = NFQBuilder(
+        query,
+        oracle=LenientSatisfiability(schema),
+        function_names=schema.function_names(),
+    )
+    nfqs = builder.build_all()
+    restaurant = nfq_by_target_label(nfqs, query, "restaurant")
+    assert restaurant.output.function_names == frozenset(
+        {"getNearbyRestos", "getHotels"}
+    ) or restaurant.output.function_names == frozenset({"getNearbyRestos"})
+
+
+def test_refinement_drops_hopeless_targets():
+    schema = parse_schema(
+        """
+        functions:
+          getA = [in: data, out: a*]
+        elements:
+          root = a*.b*
+          a = data
+          b = data
+        """
+    )
+    q = parse_pattern("/root/b")
+    builder = NFQBuilder(
+        q,
+        oracle=ExactSatisfiability(schema),
+        function_names=["getA"],
+    )
+    b_node = [n for n in q.nodes() if n.label == "b"][0]
+    assert builder.build_for(b_node) is None
+
+
+def test_refinement_requires_function_names():
+    with pytest.raises(ValueError):
+        NFQBuilder(paper_query(), oracle=object())  # type: ignore[arg-type]
+
+
+def test_add_function_names_reports_novelty():
+    builder = NFQBuilder(paper_query())
+    assert builder.add_function_names(["x"]) is True
+    assert builder.add_function_names(["x"]) is False
+
+
+def test_excluded_targets_remove_function_alternatives():
+    query = paper_query()
+    builder = NFQBuilder(query)
+    rating_value = [
+        n
+        for n in query.nodes()
+        if n.kind is PatternKind.VALUE and n.parent.label == "rating"
+        and n.parent.parent.label == "hotel"
+    ][0]
+    restaurant = [n for n in query.nodes() if n.label == "restaurant"][0]
+    with_branch = builder.build_for(restaurant)
+    without_branch = builder.build_for(
+        restaurant, excluded_targets={rating_value.uid}
+    )
+    def count_or(rq):
+        return sum(1 for n in rq.pattern.nodes() if n.is_or)
+    assert count_or(without_branch) < count_or(with_branch)
+
+
+def test_drop_value_joins_replaces_variables():
+    query = paper_query()
+    builder = NFQBuilder(query, drop_value_joins=True)
+    for rq in builder.build_all():
+        assert not any(
+            n.kind is PatternKind.VARIABLE for n in rq.pattern.nodes()
+        )
+
+
+def test_nfq_results_subset_of_lpq_results():
+    """NFQs are at least as precise as LPQs on any document."""
+    from repro.lazy.relevance import linear_path_queries
+
+    doc = figure_1_document()
+    query = paper_query()
+    def retrieved(queries):
+        out = set()
+        for rq in queries:
+            for node in Matcher(rq.pattern).evaluate(doc).distinct_nodes():
+                out.add(node.node_id)
+        return out
+
+    assert retrieved(build_nfqs(query)) <= retrieved(linear_path_queries(query))

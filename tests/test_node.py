@@ -1,0 +1,124 @@
+"""Unit tests for the AXML node model (repro.axml.node)."""
+
+import pytest
+
+from repro.axml.node import (
+    Node,
+    NodeKind,
+    call,
+    element,
+    fresh_name,
+    value,
+    walk_matching,
+)
+
+
+def test_element_constructor_sets_kind_and_label():
+    node = element("hotel")
+    assert node.kind is NodeKind.ELEMENT
+    assert node.label == "hotel"
+    assert node.is_element and node.is_data
+    assert not node.is_function and not node.is_value
+
+
+def test_value_constructor_coerces_to_string():
+    node = value(42)
+    assert node.is_value
+    assert node.label == "42"
+
+
+def test_call_constructor_with_parameters():
+    node = call("getRating", value("address"))
+    assert node.is_function
+    assert not node.is_data
+    assert len(node.children) == 1
+    assert node.children[0].parent is node
+
+
+def test_append_rejects_already_attached_child():
+    parent = element("a")
+    child = element("b")
+    parent.append(child)
+    other = element("c")
+    with pytest.raises(ValueError):
+        other.append(child)
+
+
+def test_detach_removes_from_parent():
+    parent = element("a", element("b"))
+    child = parent.children[0]
+    child.detach()
+    assert child.parent is None
+    assert parent.children == []
+
+
+def test_iter_subtree_is_preorder_document_order():
+    tree = element("a", element("b", value("1")), element("c"))
+    labels = [n.label for n in tree.iter_subtree()]
+    assert labels == ["a", "b", "1", "c"]
+
+
+def test_iter_descendants_excludes_self():
+    tree = element("a", element("b"))
+    labels = [n.label for n in tree.iter_descendants()]
+    assert labels == ["b"]
+
+
+def test_iter_ancestors_walks_to_root():
+    tree = element("a", element("b", element("c")))
+    leaf = tree.children[0].children[0]
+    assert [n.label for n in leaf.iter_ancestors()] == ["b", "a"]
+
+
+def test_data_and_function_children_partition():
+    tree = element("a", value("v"), call("f"), element("b"))
+    assert [n.label for n in tree.data_children()] == ["v", "b"]
+    assert [n.label for n in tree.function_children()] == ["f"]
+
+
+def test_subtree_size_and_depth():
+    tree = element("a", element("b", value("1")), element("c"))
+    assert tree.subtree_size() == 4
+    assert tree.children[0].children[0].depth() == 2
+    assert tree.depth() == 0
+
+
+def test_clone_is_deep_and_detached():
+    tree = element("a", element("b", value("1")))
+    copy = tree.clone()
+    assert copy is not tree
+    assert copy.structurally_equal(tree)
+    assert copy.parent is None
+    copy.children[0].label = "z"
+    assert tree.children[0].label == "b"
+
+
+def test_structural_equality_notices_kind_differences():
+    assert not element("a").structurally_equal(value("a"))
+    assert not element("a").structurally_equal(call("a"))
+    assert element("a", value("1")).structurally_equal(element("a", value("1")))
+    assert not element("a", value("1")).structurally_equal(element("a", value("2")))
+
+
+def test_structural_equality_is_order_sensitive():
+    left = element("a", element("b"), element("c"))
+    right = element("a", element("c"), element("b"))
+    assert not left.structurally_equal(right)
+
+
+def test_walk_matching_filters():
+    tree = element("a", call("f"), element("b", call("g")))
+    names = sorted(n.label for n in walk_matching(tree, lambda n: n.is_function))
+    assert names == ["f", "g"]
+
+
+def test_pretty_renders_every_node_kind():
+    tree = element("a", value("x"), call("f"))
+    text = tree.pretty()
+    assert "<a>" in text
+    assert '"x"' in text
+    assert "@f()" in text
+
+
+def test_fresh_name_is_unique():
+    assert fresh_name("svc") != fresh_name("svc")

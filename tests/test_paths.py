@@ -1,0 +1,75 @@
+"""Unit tests for label paths (repro.axml.paths)."""
+
+import pytest
+
+from repro.axml.builder import C, E, V, build_document
+from repro.axml.paths import (
+    call_position,
+    common_prefix,
+    format_path,
+    is_prefix,
+    parse_path,
+    path_to,
+)
+
+
+@pytest.fixture
+def doc():
+    return build_document(
+        E("root", E("a", E("b", C("f", V("param"))), C("g")))
+    )
+
+
+def test_path_to_includes_root_and_node(doc):
+    b = [n for n in doc.iter_nodes() if n.label == "b"][0]
+    assert path_to(b) == ("root", "a", "b")
+
+
+def test_path_to_rejects_non_elements(doc):
+    f = doc.function_nodes()[0]
+    with pytest.raises(ValueError):
+        path_to(f)
+
+
+def test_call_position_is_parent_path(doc):
+    f, g = doc.function_nodes()
+    assert call_position(f) == ("root", "a", "b")
+    assert call_position(g) == ("root", "a")
+
+
+def test_call_position_requires_attached_function(doc):
+    from repro.axml.node import call
+
+    with pytest.raises(ValueError):
+        call_position(call("loose"))
+    with pytest.raises(ValueError):
+        call_position(doc.root)
+
+
+def test_format_path():
+    assert format_path(("a", "b")) == "/a/b"
+    assert format_path(()) == "/"
+
+
+def test_is_prefix():
+    assert is_prefix((), ("a",))
+    assert is_prefix(("a",), ("a", "b"))
+    assert is_prefix(("a", "b"), ("a", "b"))
+    assert not is_prefix(("a", "c"), ("a", "b"))
+    assert not is_prefix(("a", "b", "c"), ("a", "b"))
+
+
+def test_common_prefix():
+    assert common_prefix(("a", "b", "c"), ("a", "b", "d")) == ("a", "b")
+    assert common_prefix(("x",), ("y",)) == ()
+
+
+def test_parse_path_accepts_simple_child_paths():
+    assert parse_path("/a/b/c") == ("a", "b", "c")
+
+
+@pytest.mark.parametrize(
+    "text", ["a/b", "/a//b", "/a/b[c]", "/a/()", ""]
+)
+def test_parse_path_rejects_non_linear(text):
+    assert parse_path(text) is None

@@ -1,0 +1,116 @@
+"""Unit tests for TreePattern structure utilities."""
+
+import pytest
+
+from repro.pattern.nodes import (
+    EdgeKind,
+    PatternKind,
+    PatternNode,
+    pelem,
+    pfunc,
+    por,
+    pstar,
+    pvalue,
+    pvar,
+)
+from repro.pattern.parse import parse_pattern
+from repro.pattern.pattern import TreePattern
+
+
+def test_validation_rejects_or_root():
+    with pytest.raises(ValueError):
+        TreePattern(por(pelem("a"), pelem("b")))
+
+
+def test_validation_rejects_function_root():
+    with pytest.raises(ValueError):
+        TreePattern(pfunc(None))
+
+
+def test_validation_rejects_value_with_children():
+    bad = pvalue("5")
+    bad.add_child(pelem("x"))
+    with pytest.raises(ValueError):
+        TreePattern(pelem("a", bad))
+
+
+def test_validation_rejects_function_with_children():
+    bad = pfunc(None)
+    bad.add_child(pelem("x"))
+    with pytest.raises(ValueError):
+        TreePattern(pelem("a", bad))
+
+
+def test_value_rooted_pattern_is_legal():
+    # sub_q_v for a leaf value node (Sections 5/7)
+    TreePattern(pvalue("5"))
+
+
+def test_variables_in_first_occurrence_order():
+    q = parse_pattern("/a[x=$B]/c[y=$A][z=$B]")
+    assert q.variables() == ["B", "A"]
+
+
+def test_linear_steps_to_excludes_node_by_default(fig1_query):
+    restaurant = [n for n in fig1_query.nodes() if n.label == "restaurant"][0]
+    steps = fig1_query.linear_steps_to(restaurant)
+    assert [s.label for s in steps] == ["hotels", "hotel", "nearby"]
+    steps_incl = fig1_query.linear_steps_to(restaurant, include_node=True)
+    assert [s.label for s in steps_incl][-1] == "restaurant"
+    assert steps_incl[-1].edge is EdgeKind.DESCENDANT
+
+
+def test_linear_steps_star_and_variable_have_no_label():
+    q = parse_pattern("/a/*/b[c=$X]")
+    x = [n for n in q.nodes() if n.is_variable][0]
+    steps = q.linear_steps_to(x, include_node=True)
+    assert [s.label for s in steps] == ["a", None, "b", "c", None]
+
+
+def test_spine_nodes_runs_root_to_node(fig1_query):
+    y = [n for n in fig1_query.nodes() if n.is_variable and n.label == "Y"][0]
+    labels = [n.label for n in fig1_query.spine_nodes(y)]
+    assert labels == ["hotels", "hotel", "nearby", "restaurant", "address", "Y"]
+
+
+def test_subtree_at_rebases_edge(fig1_query):
+    restaurant = [n for n in fig1_query.nodes() if n.label == "restaurant"][0]
+    sub = fig1_query.subtree_at(restaurant)
+    assert sub.root.label == "restaurant"
+    assert sub.root.edge is EdgeKind.CHILD
+    assert sub.root.parent is None
+    # original untouched
+    assert restaurant.edge is EdgeKind.DESCENDANT
+
+
+def test_clone_preserves_origin_chain(fig1_query):
+    clone = fig1_query.clone()
+    reclone = clone.clone()
+    for node in fig1_query.nodes():
+        assert clone.find_by_origin(node.uid).label == node.label
+        assert reclone.find_by_origin(node.uid).label == node.label
+
+
+def test_or_free_expansions_multiply():
+    a = pelem("a", por(pelem("b"), pelem("c")), por(pelem("d"), pfunc(None)))
+    q = TreePattern(a)
+    expansions = q.or_free_expansions()
+    assert len(expansions) == 4
+    rendered = {e.to_string() for e in expansions}
+    assert "/a[b][d]" in rendered
+    assert len(rendered) == 4
+
+
+def test_or_expansion_preserves_edges():
+    node = por(pelem("b"), pelem("c"), edge=EdgeKind.DESCENDANT)
+    q = TreePattern(pelem("a", node))
+    for expansion in q.or_free_expansions():
+        assert expansion.root.children[0].edge is EdgeKind.DESCENDANT
+
+
+def test_to_string_notation(fig1_query):
+    text = fig1_query.to_string()
+    assert text.startswith("/hotels")
+    assert '[name["Best Western"]]' in text
+    assert "//restaurant" in text
+    assert "$X!" in text  # result marker on variables

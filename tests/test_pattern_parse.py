@@ -1,0 +1,141 @@
+"""Unit tests for the pattern surface-syntax parser."""
+
+import pytest
+
+from repro.pattern.nodes import EdgeKind, PatternKind
+from repro.pattern.parse import PatternSyntaxError, parse_pattern
+
+
+def test_simple_path():
+    q = parse_pattern("/a/b/c")
+    assert q.root.label == "a"
+    b = q.root.children[0]
+    c = b.children[0]
+    assert (b.label, c.label) == ("b", "c")
+    assert b.edge is EdgeKind.CHILD
+
+
+def test_descendant_step():
+    q = parse_pattern("/a//b")
+    assert q.root.children[0].edge is EdgeKind.DESCENDANT
+
+
+def test_leading_descendant_gets_star_root():
+    q = parse_pattern("//b")
+    assert q.root.kind is PatternKind.STAR
+    assert q.root.children[0].label == "b"
+    assert q.root.children[0].edge is EdgeKind.DESCENDANT
+
+
+def test_value_predicate():
+    q = parse_pattern('/show[title="The Hours"]/schedule')
+    title = q.root.children[0]
+    assert title.label == "title"
+    assert title.children[0].kind is PatternKind.VALUE
+    assert title.children[0].label == "The Hours"
+
+
+def test_variable_comparison():
+    q = parse_pattern("/r[name=$X]")
+    name = q.root.children[0]
+    var = name.children[0]
+    assert var.kind is PatternKind.VARIABLE
+    assert var.label == "X"
+    assert var.is_result  # variables default to result nodes
+
+
+def test_multiple_predicates_and_spine():
+    q = parse_pattern('/hotel[name="h"][rating="5"]/nearby')
+    labels = [c.label for c in q.root.children]
+    assert labels == ["name", "rating", "nearby"]
+
+
+def test_nested_predicate_paths():
+    q = parse_pattern('/a[b/c="1"]/d')
+    b = q.root.children[0]
+    assert b.label == "b"
+    assert b.children[0].label == "c"
+    assert b.children[0].children[0].label == "1"
+
+
+def test_predicate_with_descendant():
+    q = parse_pattern("/a[//x]/b")
+    x = q.root.children[0]
+    assert x.label == "x"
+    assert x.edge is EdgeKind.DESCENDANT
+
+
+def test_star_step():
+    q = parse_pattern("/a/*/c")
+    assert q.root.children[0].kind is PatternKind.STAR
+
+
+def test_star_function_step():
+    q = parse_pattern("/a/nearby/()")
+    fn = q.root.children[0].children[0]
+    assert fn.kind is PatternKind.FUNCTION
+    assert fn.function_names is None
+    assert fn.is_result  # last spine step
+
+
+def test_named_function_step():
+    q = parse_pattern("//rating/getRating()")
+    fn = [n for n in q.nodes() if n.kind is PatternKind.FUNCTION][0]
+    assert fn.function_names == frozenset({"getRating"})
+
+
+def test_multi_named_function_step():
+    q = parse_pattern("/a/(f|g)()")
+    fn = q.root.children[0]
+    assert fn.function_names == frozenset({"f", "g"})
+
+
+def test_explicit_result_marker_overrides_default():
+    q = parse_pattern("/a/b!/c")
+    marked = [n.label for n in q.result_nodes()]
+    assert marked == ["b"]
+
+
+def test_default_result_is_last_spine_step_not_predicate():
+    q = parse_pattern("/a[b]")
+    assert [n.label for n in q.result_nodes()] == ["a"]
+    q2 = parse_pattern("/a[b]/c[d]")
+    assert [n.label for n in q2.result_nodes()] == ["c"]
+
+
+def test_result_variables_parameter():
+    q = parse_pattern("/r[name=$X][addr=$Y]", result_variables=["Y"])
+    assert [n.label for n in q.result_nodes()] == ["Y"]
+
+
+def test_result_variables_unknown_name_raises():
+    with pytest.raises(ValueError):
+        parse_pattern("/r[name=$X]", result_variables=["Z"])
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "a/b",          # missing leading slash
+        "/a[",          # unterminated predicate
+        '/a[b="x]',     # unterminated string
+        "/a/$",         # missing variable name
+        "/a]]",         # trailing garbage
+        "/a/(f|)()",    # missing alternative name
+        "",             # empty
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(PatternSyntaxError):
+        parse_pattern(bad)
+
+
+def test_paper_query_roundtrip_shape(fig1_query):
+    q = fig1_query
+    assert q.root.label == "hotels"
+    hotel = q.root.children[0]
+    assert hotel.label == "hotel"
+    restaurant = [n for n in q.nodes() if n.label == "restaurant"][0]
+    assert restaurant.edge is EdgeKind.DESCENDANT
+    assert sorted(q.variables()) == ["X", "Y"]
+    assert len(q.result_nodes()) == 2

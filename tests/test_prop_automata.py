@@ -1,0 +1,137 @@
+"""Property tests for the automata toolkit.
+
+Random regexes are checked against a sampler (words drawn from the
+regex itself must be accepted) and against brute-force enumeration for
+intersection / prefix questions over a small alphabet.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.schema import regex as rx
+from repro.schema.automata import (
+    from_regex,
+    languages_intersect,
+    some_word_is_prefix_of,
+)
+
+ALPHABET = ["a", "b", "c"]
+
+
+@st.composite
+def regexes(draw, depth=3):
+    if depth == 0:
+        return rx.Letter(draw(st.sampled_from(ALPHABET)))
+    kind = draw(
+        st.sampled_from(["letter", "letter", "concat", "alt", "star", "maybe"])
+    )
+    if kind == "letter":
+        return rx.Letter(draw(st.sampled_from(ALPHABET)))
+    if kind == "star":
+        return rx.Star(draw(regexes(depth=depth - 1)))
+    if kind == "maybe":
+        return rx.Maybe(draw(regexes(depth=depth - 1)))
+    parts = draw(
+        st.lists(regexes(depth=depth - 1), min_size=2, max_size=3)
+    )
+    return rx.Concat(parts) if kind == "concat" else rx.Alt(parts)
+
+
+def sample_word(regex: rx.Regex, rng: random.Random, budget: int = 4):
+    """Draw one word from the language of the regex."""
+    if isinstance(regex, rx.Epsilon):
+        return []
+    if isinstance(regex, rx.Letter):
+        return [regex.name]
+    if isinstance(regex, rx.Concat):
+        out = []
+        for part in regex.parts:
+            out.extend(sample_word(part, rng, budget))
+        return out
+    if isinstance(regex, rx.Alt):
+        return sample_word(rng.choice(regex.parts), rng, budget)
+    if isinstance(regex, rx.Star):
+        out = []
+        for _ in range(rng.randint(0, budget)):
+            out.extend(sample_word(regex.inner, rng, budget - 1))
+        return out
+    if isinstance(regex, rx.Plus):
+        out = sample_word(regex.inner, rng, budget)
+        for _ in range(rng.randint(0, budget)):
+            out.extend(sample_word(regex.inner, rng, budget - 1))
+        return out
+    if isinstance(regex, rx.Maybe):
+        if rng.random() < 0.5:
+            return []
+        return sample_word(regex.inner, rng, budget)
+    raise AssertionError
+
+
+def words_up_to(length):
+    for n in range(length + 1):
+        yield from itertools.product(ALPHABET, repeat=n)
+
+
+@settings(max_examples=150, deadline=None)
+@given(regex=regexes(), seed=st.integers(0, 1000))
+def test_sampled_words_are_accepted(regex, seed):
+    rng = random.Random(seed)
+    nfa = from_regex(regex)
+    for _ in range(5):
+        assert nfa.accepts(sample_word(regex, rng))
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=regexes(depth=2), right=regexes(depth=2))
+def test_intersection_agrees_with_enumeration(left, right):
+    l_nfa, r_nfa = from_regex(left), from_regex(right)
+    brute = any(
+        l_nfa.accepts(list(w)) and r_nfa.accepts(list(w))
+        for w in words_up_to(4)
+    )
+    got = languages_intersect(l_nfa, r_nfa)
+    # Enumeration is bounded: it can miss long witnesses, so only the
+    # brute-force-positive direction is a strict check.
+    if brute:
+        assert got
+    if not got:
+        assert not brute
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=regexes(depth=2), right=regexes(depth=2))
+def test_prefix_test_agrees_with_enumeration(left, right):
+    l_nfa, r_nfa = from_regex(left), from_regex(right)
+    brute = False
+    for w in words_up_to(4):
+        if not r_nfa.accepts(list(w)):
+            continue
+        for k in range(len(w) + 1):
+            if l_nfa.accepts(list(w[:k])):
+                brute = True
+                break
+        if brute:
+            break
+    got = some_word_is_prefix_of(l_nfa, r_nfa)
+    if brute:
+        assert got
+    if not got:
+        assert not brute
+
+
+@settings(max_examples=80, deadline=None)
+@given(regex=regexes(depth=2), seed=st.integers(0, 1000))
+def test_prefix_closure_accepts_every_prefix(regex, seed):
+    rng = random.Random(seed)
+    closed = from_regex(regex).prefix_closed()
+    word = sample_word(regex, rng)
+    for k in range(len(word) + 1):
+        assert closed.accepts(word[:k])
+
+
+@settings(max_examples=80, deadline=None)
+@given(regex=regexes())
+def test_nullability_matches_membership_of_epsilon(regex):
+    assert from_regex(regex).accepts([]) == regex.nullable()

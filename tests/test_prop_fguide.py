@@ -1,0 +1,96 @@
+"""Property tests for F-guides: the Section 6.2 equivalence and
+incremental-maintenance correctness under random invocation sequences."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.lazy.fguide import FGuide
+from repro.lazy.relevance import linear_path_queries
+from repro.pattern.match import Matcher
+from repro.workloads.synthetic import SyntheticWorld
+
+
+def guide_snapshot(guide):
+    return sorted(
+        (path, tuple(sorted(bucket)))
+        for call_id, path in guide._position_of.items()
+        for bucket in [[call_id]]
+    )
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    world_seed=st.integers(0, 10_000),
+    doc_seed=st.integers(0, 30),
+)
+def test_lpq_on_guide_equals_lpq_on_document(world_seed, doc_seed):
+    world = SyntheticWorld(seed=world_seed)
+    document = world.make_document(doc_seed)
+    query = world.sample_query(document, doc_seed)
+    guide = FGuide(document)
+    try:
+        for rq in linear_path_queries(query, dedupe=False):
+            on_doc = {
+                n.node_id
+                for n in Matcher(rq.pattern).evaluate(document).distinct_nodes()
+            }
+            on_guide = {
+                n.node_id
+                for n in guide.candidates(
+                    rq.linear_steps, descendant_tail=rq.descendant_tail
+                )
+            }
+            assert on_doc == on_guide, rq.pattern.to_string()
+    finally:
+        guide.detach()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    world_seed=st.integers(0, 10_000),
+    doc_seed=st.integers(0, 30),
+    picks=st.lists(st.integers(0, 100), min_size=1, max_size=8),
+)
+def test_incremental_maintenance_equals_rebuild(world_seed, doc_seed, picks):
+    world = SyntheticWorld(seed=world_seed)
+    document = world.make_document(doc_seed)
+    bus = world.bus()
+    guide = FGuide(document)
+    try:
+        for pick in picks:
+            calls = document.function_nodes()
+            if not calls:
+                break
+            target = calls[pick % len(calls)]
+            reply, _ = bus.invoke(target.label, target.children)
+            document.replace_call(target, reply.forest)
+            incremental = set(guide.paths()), guide.call_count()
+            guide.rebuild()
+            rebuilt = set(guide.paths()), guide.call_count()
+            assert incremental == rebuilt
+    finally:
+        guide.detach()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(world_seed=st.integers(0, 10_000), doc_seed=st.integers(0, 30))
+def test_guide_never_larger_than_document(world_seed, doc_seed):
+    world = SyntheticWorld(seed=world_seed)
+    document = world.make_document(doc_seed)
+    guide = FGuide(document)
+    try:
+        assert guide.size() <= document.stats().total_nodes
+        assert guide.call_count() == document.stats().function_nodes
+    finally:
+        guide.detach()

@@ -1,0 +1,210 @@
+"""Property tests for the matcher against a brute-force reference.
+
+The reference implementation enumerates every homomorphism explicitly
+(exponential, fine for tiny inputs); the production matcher must agree
+on randomly generated documents and patterns.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.axml.builder import build_document
+from repro.axml.node import Node, NodeKind, call, element, value
+from repro.pattern.match import Matcher
+from repro.pattern.nodes import EdgeKind, PatternKind, PatternNode
+from repro.pattern.pattern import TreePattern
+
+LABELS = ["a", "b", "c"]
+VALUES = ["1", "2"]
+
+
+# -- generators ----------------------------------------------------------------
+
+
+@st.composite
+def doc_trees(draw, depth=3):
+    if depth == 0:
+        return value(draw(st.sampled_from(VALUES)))
+    kind = draw(st.sampled_from(["element", "element", "value", "call"]))
+    if kind == "value":
+        return value(draw(st.sampled_from(VALUES)))
+    if kind == "call":
+        return call(draw(st.sampled_from(["f", "g"])))
+    node = element(draw(st.sampled_from(LABELS)))
+    for child in draw(st.lists(doc_trees(depth=depth - 1), max_size=3)):
+        node.append(child)
+    return node
+
+
+@st.composite
+def documents(draw):
+    root = element("root")
+    for child in draw(st.lists(doc_trees(), min_size=1, max_size=3)):
+        root.append(child)
+    return build_document(root)
+
+
+@st.composite
+def pattern_trees(draw, depth=2):
+    edge = draw(st.sampled_from([EdgeKind.CHILD, EdgeKind.DESCENDANT]))
+    kind = draw(
+        st.sampled_from(
+            ["element", "element", "value", "star", "function"]
+        )
+    )
+    if depth == 0 or kind == "value":
+        return PatternNode(
+            PatternKind.VALUE, draw(st.sampled_from(VALUES)), edge=edge
+        )
+    if kind == "function":
+        names = draw(st.sampled_from([None, ["f"], ["f", "g"]]))
+        return PatternNode(
+            PatternKind.FUNCTION,
+            "()",
+            edge=edge,
+            function_names=None if names is None else frozenset(names),
+        )
+    if kind == "star":
+        node = PatternNode(PatternKind.STAR, "*", edge=edge)
+    else:
+        node = PatternNode(
+            PatternKind.ELEMENT, draw(st.sampled_from(LABELS)), edge=edge
+        )
+    for child in draw(st.lists(pattern_trees(depth=depth - 1), max_size=2)):
+        node.add_child(child)
+    return node
+
+
+@st.composite
+def patterns(draw):
+    root = PatternNode(PatternKind.ELEMENT, "root")
+    for child in draw(st.lists(pattern_trees(), min_size=1, max_size=2)):
+        root.add_child(child)
+    # Mark one data node as the result.
+    nodes = [n for n in root.iter_subtree()]
+    target = draw(st.sampled_from(nodes))
+    target.is_result = True
+    if target.kind is PatternKind.OR:
+        target.is_result = False
+        root.is_result = True
+    return TreePattern(root)
+
+
+# -- reference implementation --------------------------------------------------
+
+
+def ref_label_match(p: PatternNode, d: Node) -> bool:
+    if p.kind is PatternKind.ELEMENT:
+        return d.kind is NodeKind.ELEMENT and d.label == p.label
+    if p.kind is PatternKind.VALUE:
+        return d.kind is NodeKind.VALUE and d.label == p.label
+    if p.kind is PatternKind.STAR:
+        return d.kind is not NodeKind.FUNCTION
+    if p.kind is PatternKind.FUNCTION:
+        return d.kind is NodeKind.FUNCTION and (
+            p.function_names is None or d.label in p.function_names
+        )
+    raise AssertionError
+
+
+def ref_candidates(d: Node, edge: EdgeKind):
+    if edge is EdgeKind.CHILD:
+        return list(d.children)
+    out = []
+    stack = list(d.children)
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if node.kind is not NodeKind.FUNCTION:
+            stack.extend(node.children)
+    return out
+
+
+def ref_embeddings(p: PatternNode, d: Node):
+    """All mappings result-node -> doc node, brute force."""
+    if not ref_label_match(p, d):
+        return []
+    partials = [frozenset({(p.uid, id(d))}) if p.is_result else frozenset()]
+    for child in p.children:
+        extended = []
+        child_opts = []
+        for cand in ref_candidates(d, child.edge):
+            child_opts.extend(ref_embeddings(child, cand))
+        for partial in partials:
+            for opt in child_opts:
+                extended.append(partial | opt)
+        partials = extended
+        if not partials:
+            return []
+    return partials
+
+
+def ref_results(pattern: TreePattern, doc) -> set:
+    out = set()
+    for emb in ref_embeddings(pattern.root, doc.root):
+        out.add(frozenset(emb))
+    return out
+
+
+# -- properties ------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(doc=documents(), pattern=patterns())
+def test_matcher_agrees_with_reference(doc, pattern):
+    got = {
+        frozenset(
+            (n.uid, id(node))
+            for n, node in zip(pattern.result_nodes(), row.nodes)
+        )
+        for row in Matcher(pattern).evaluate(doc)
+    }
+    expected = ref_results(pattern, doc)
+    assert got == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(doc=documents(), pattern=patterns())
+def test_descendant_results_superset_of_child(doc, pattern):
+    """Relaxing every child edge to a descendant edge only adds rows."""
+    strict_rows = Matcher(pattern).evaluate(doc)
+    relaxed = pattern.clone()
+    for node in relaxed.nodes():
+        node.edge = EdgeKind.DESCENDANT
+    relaxed_rows = Matcher(relaxed).evaluate(doc)
+    strict_ids = {
+        tuple(id(n) for n in row.nodes) for row in strict_rows
+    }
+    relaxed_ids = {
+        tuple(id(n) for n in row.nodes) for row in relaxed_rows
+    }
+    assert strict_ids <= relaxed_ids
+
+
+@settings(max_examples=80, deadline=None)
+@given(doc=documents(), pattern=patterns())
+def test_has_embedding_iff_results_nonempty(doc, pattern):
+    matcher = Matcher(pattern)
+    assert matcher.has_embedding(doc.root) == bool(matcher.evaluate(doc))
+
+
+@settings(max_examples=80, deadline=None)
+@given(doc=documents(), left=patterns(), right=patterns())
+def test_containment_is_sound_on_random_documents(doc, left, right):
+    """If subsumes(general, specific) then specific's results are a
+    subset of general's on every document (here: sampled documents)."""
+    from repro.pattern.containment import subsumes
+
+    if not subsumes(left, right):
+        return
+    general_rows = {
+        tuple(id(n) for n in row.nodes) for row in Matcher(left).evaluate(doc)
+    }
+    specific_rows = {
+        tuple(id(n) for n in row.nodes) for row in Matcher(right).evaluate(doc)
+    }
+    # Result tuples are over different pattern nodes; compare the sets
+    # of *matched document nodes* instead (single-result patterns).
+    general_nodes = {ids for ids in general_rows}
+    specific_nodes = {ids for ids in specific_rows}
+    if len(left.result_nodes()) == len(right.result_nodes()) == 1:
+        assert specific_nodes <= general_nodes

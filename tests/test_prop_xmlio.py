@@ -1,0 +1,86 @@
+"""Property: XML serialisation round-trips arbitrary AXML trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.axml.node import Activation, call, element, value
+from repro.axml.xmlio import parse, serialize
+
+LABELS = ["a", "b", "long-name", "ns.like", "x_1"]
+# Values must survive the whitespace-stripping convention: no leading/
+# trailing whitespace and not whitespace-only.
+VALUES = ["1", "hello world", "éàü", "<>&\"'", "5 stars"]
+
+
+@st.composite
+def axml_trees(draw, depth=3):
+    kind = draw(st.sampled_from(["element", "element", "value", "call"]))
+    if depth == 0 or kind == "value":
+        return value(draw(st.sampled_from(VALUES)))
+    if kind == "call":
+        node = call(
+            draw(st.sampled_from(["svcA", "svcB"])),
+            activation=draw(st.sampled_from(list(Activation))),
+        )
+    else:
+        node = element(draw(st.sampled_from(LABELS)))
+    for child in draw(st.lists(axml_trees(depth=depth - 1), max_size=3)):
+        node.append(child)
+    return node
+
+
+@st.composite
+def rooted_trees(draw):
+    root = element("root")
+    for child in draw(st.lists(axml_trees(), max_size=4)):
+        root.append(child)
+    return root
+
+
+def normalized(node):
+    """Merge adjacent value siblings — two adjacent text nodes are one
+    text node in XML, an inherent model fact, not a round-trip bug."""
+    from repro.axml.node import Node
+
+    copy = Node(node.kind, node.label, activation=node.activation)
+    pending_text = None
+    for child in node.children:
+        if child.is_value:
+            pending_text = (
+                child.label
+                if pending_text is None
+                else pending_text + child.label
+            )
+            continue
+        if pending_text is not None:
+            copy.append(value(pending_text))
+            pending_text = None
+        copy.append(normalized(child))
+    if pending_text is not None:
+        copy.append(value(pending_text))
+    return copy
+
+
+@settings(max_examples=150, deadline=None)
+@given(tree=rooted_trees())
+def test_serialize_parse_roundtrip(tree):
+    again = parse(serialize(tree))
+    assert again.structurally_equal(normalized(tree))
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=rooted_trees())
+def test_roundtrip_preserves_activation(tree):
+    again = parse(serialize(tree))
+    original_calls = [n for n in tree.iter_subtree() if n.is_function]
+    parsed_calls = [n for n in again.iter_subtree() if n.is_function]
+    assert [c.activation for c in original_calls] == [
+        c.activation for c in parsed_calls
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=rooted_trees())
+def test_double_roundtrip_is_stable(tree):
+    once = serialize(parse(serialize(tree)))
+    twice = serialize(parse(once))
+    assert once == twice

@@ -1,0 +1,74 @@
+"""Sanity tests for the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.axml",
+    "repro.pattern",
+    "repro.schema",
+    "repro.services",
+    "repro.lazy",
+    "repro.workloads",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_packages_import_cleanly(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "repro",
+        "repro.axml",
+        "repro.pattern",
+        "repro.schema",
+        "repro.services",
+        "repro.lazy",
+        "repro.workloads",
+    ],
+)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    for exported in module.__all__:
+        assert hasattr(module, exported), f"{name}.{exported} missing"
+
+
+def test_version_is_exposed():
+    assert repro.__version__.count(".") == 2
+
+
+def test_every_public_symbol_is_documented():
+    for exported in repro.__all__:
+        if exported == "__version__":
+            continue
+        symbol = getattr(repro, exported)
+        if callable(symbol) or isinstance(symbol, type):
+            assert symbol.__doc__, f"repro.{exported} lacks a docstring"
+
+
+def test_readme_quickstart_names_exist():
+    for name in (
+        "E",
+        "V",
+        "C",
+        "build_document",
+        "parse_pattern",
+        "parse_schema",
+        "ServiceRegistry",
+        "ServiceBus",
+        "TableService",
+        "make_signature",
+        "LazyQueryEvaluator",
+        "EngineConfig",
+        "Strategy",
+    ):
+        assert hasattr(repro, name)

@@ -1,0 +1,155 @@
+"""Unit tests for query pushing (Section 7)."""
+
+import pytest
+
+from repro.axml.builder import C, E, V, build_document
+from repro.lazy.config import EngineConfig, Strategy
+from repro.lazy.engine import LazyQueryEvaluator
+from repro.lazy.pushing import BindingsOverlay, pushed_subquery_for
+from repro.pattern.match import Matcher
+from repro.pattern.nodes import EdgeKind, PatternKind
+from repro.pattern.parse import parse_pattern
+from repro.services.registry import ServiceBus, ServiceRegistry
+from repro.services.catalog import StaticService
+from repro.services.service import BindingRow, PushMode
+from repro.workloads.hotels import (
+    figure_1_document,
+    figure_1_registry,
+    figure_1_schema,
+    paper_query,
+)
+
+
+def test_pushed_subquery_is_the_query_subtree():
+    query = paper_query()
+    restaurant = [n for n in query.nodes() if n.label == "restaurant"][0]
+    pushed = pushed_subquery_for(query, restaurant)
+    assert pushed.pattern.root.label == "restaurant"
+    assert pushed.anchor_edge is EdgeKind.DESCENDANT
+    # Section 7's example: //restaurant[rating="5",name=X,address=Y].
+    assert pushed.pattern.to_string() == (
+        '/restaurant[name[$X!]][address[$Y!]][rating["5"]]'
+    )
+
+
+def test_all_variables_become_result_nodes():
+    query = parse_pattern("/a/b[c=$X][d=$Y]", result_variables=["X"])
+    b = [n for n in query.nodes() if n.label == "b"][0]
+    pushed = pushed_subquery_for(query, b)
+    marked = {n.label for n in pushed.pattern.result_nodes()}
+    assert marked == {"X", "Y"}
+    assert pushed.bindable
+
+
+def test_non_variable_results_disable_bindings():
+    query = parse_pattern("/a/b/c")  # result is the element c
+    b = [n for n in query.nodes() if n.label == "b"][0]
+    pushed = pushed_subquery_for(query, b)
+    assert not pushed.bindable
+
+
+def test_pure_filter_subquery_is_bindable():
+    query = parse_pattern('/a/b[c="1"]/d')
+    c = [n for n in query.nodes() if n.label == "c"][0]
+    pushed = pushed_subquery_for(query, c)
+    assert pushed.bindable
+    assert pushed.pattern.result_nodes() == []
+
+
+def test_overlay_rows_join_with_environment():
+    query = parse_pattern("/a/b[name=$X]")
+    b = [n for n in query.nodes() if n.label == "b"][0]
+    pushed = pushed_subquery_for(query, b)
+    overlay = BindingsOverlay()
+    doc = build_document(E("a"))
+    overlay.add(doc.root, pushed, [BindingRow((("X", "v1"),))])
+    rows = overlay.lookup(doc.root, b)
+    assert len(rows) == 1
+    assert rows[0].merge_env({}) == {"X": "v1"}
+    assert rows[0].merge_env({"X": "v1"}) == {"X": "v1"}
+    assert rows[0].merge_env({"X": "other"}) is None
+
+
+def test_overlay_supplies_result_nodes():
+    query = parse_pattern("/a/b[name=$X]")
+    b = [n for n in query.nodes() if n.label == "b"][0]
+    x = [n for n in query.nodes() if n.is_variable][0]
+    pushed = pushed_subquery_for(query, b)
+    overlay = BindingsOverlay()
+    doc = build_document(E("a"))
+    overlay.add(doc.root, pushed, [BindingRow((("X", "v1"),))])
+    matched = Matcher(query, overlay=overlay).evaluate(doc)
+    assert matched.value_rows() == {("v1",)}
+    (row,) = matched.rows
+    assert row.nodes[0].is_value
+
+
+def test_overlay_lookup_through_or_alternatives():
+    from repro.lazy.relevance import build_nfqs
+
+    query = parse_pattern('/a[b="1"]/c')
+    b = [n for n in query.nodes() if n.label == "b"][0]
+    pushed = pushed_subquery_for(query, b)
+    overlay = BindingsOverlay()
+    doc = build_document(E("a", C("getC")))
+    overlay.add(doc.root, pushed, [BindingRow(())])
+    # The NFQ for c OR-wraps the b condition; the overlay must satisfy it.
+    nfqs = build_nfqs(query)
+    c_nfq = [
+        rq for rq in nfqs
+        if rq.pattern.to_string().endswith("[()!]")
+    ]
+    for rq in nfqs:
+        matched = Matcher(rq.pattern, overlay=overlay).evaluate(doc)
+        if rq.target.label == "c":
+            assert len(matched.distinct_nodes()) == 1
+
+
+def test_engine_bindings_push_records_overlay(fig1_schema):
+    doc = figure_1_document()
+    bus = ServiceBus(figure_1_registry())
+    config = EngineConfig(
+        strategy=Strategy.LAZY_NFQ, push_mode=PushMode.BINDINGS
+    )
+    outcome = LazyQueryEvaluator(bus, schema=fig1_schema, config=config).evaluate(
+        paper_query(), doc
+    )
+    assert outcome.overlay is not None
+    assert outcome.overlay.row_count >= 1
+    pushed_records = [r for r in bus.log.records if r.push_mode == "bindings"]
+    assert pushed_records
+    assert all(r.returned_bindings for r in pushed_records)
+
+
+def test_push_reduces_received_bytes(fig1_schema):
+    def run(push_mode):
+        doc = figure_1_document()
+        bus = ServiceBus(figure_1_registry())
+        config = EngineConfig(strategy=Strategy.LAZY_NFQ, push_mode=push_mode)
+        out = LazyQueryEvaluator(
+            bus, schema=fig1_schema, config=config
+        ).evaluate(paper_query(), doc)
+        return out
+
+    plain = run(PushMode.NONE)
+    filtered = run(PushMode.FILTERED)
+    bindings = run(PushMode.BINDINGS)
+    assert plain.value_rows() == filtered.value_rows() == bindings.value_rows()
+    assert filtered.metrics.bytes_received <= plain.metrics.bytes_received
+    assert bindings.metrics.bytes_received <= filtered.metrics.bytes_received
+
+
+def test_push_suppressed_when_positions_are_shared():
+    """A call whose position several query nodes could use must be
+    invoked un-pushed (the engine's safety rule)."""
+    registry = ServiceRegistry(
+        [StaticService("f", [E("x", V("1")), E("y", V("2"))])]
+    )
+    bus = ServiceBus(registry)
+    doc = build_document(E("root", C("f")))
+    query = parse_pattern("/root[x][y]")
+    config = EngineConfig(strategy=Strategy.LAZY_NFQ, push_mode=PushMode.FILTERED)
+    out = LazyQueryEvaluator(bus, config=config).evaluate(query, doc)
+    assert len(out.rows) == 1
+    # Both x and y NFQs sit at /root: no pushing happened.
+    assert all(r.push_mode == "none" for r in bus.log.records)

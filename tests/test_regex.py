@@ -1,0 +1,109 @@
+"""Unit tests for the content-model regex AST and parser."""
+
+import pytest
+
+from repro.schema.regex import (
+    ANY,
+    ANY_CONTENT,
+    Alt,
+    Concat,
+    Epsilon,
+    Letter,
+    Maybe,
+    Plus,
+    RegexSyntaxError,
+    Star,
+    letter_sequence,
+    parse_regex,
+)
+
+
+def test_parse_single_letter():
+    r = parse_regex("hotel")
+    assert isinstance(r, Letter)
+    assert r.name == "hotel"
+
+
+def test_parse_concatenation():
+    r = parse_regex("name.address.rating")
+    assert isinstance(r, Concat)
+    assert [p.name for p in r.parts] == ["name", "address", "rating"]
+
+
+def test_parse_alternation_binds_loosest():
+    r = parse_regex("a.b | c")
+    assert isinstance(r, Alt)
+    assert isinstance(r.parts[0], Concat)
+
+
+def test_parse_postfix_operators():
+    assert isinstance(parse_regex("a*"), Star)
+    assert isinstance(parse_regex("a+"), Plus)
+    assert isinstance(parse_regex("a?"), Maybe)
+    nested = parse_regex("(a|b)*")
+    assert isinstance(nested, Star)
+    assert isinstance(nested.inner, Alt)
+
+
+def test_parse_figure_2_lines():
+    r = parse_regex("restaurant*.getNearbyRestos*.museum*.getNearbyMuseums*")
+    assert isinstance(r, Concat)
+    assert r.letters() == {
+        "restaurant",
+        "getNearbyRestos",
+        "museum",
+        "getNearbyMuseums",
+    }
+
+
+def test_empty_keyword_is_epsilon():
+    assert isinstance(parse_regex("empty"), Epsilon)
+    assert parse_regex("empty").nullable()
+
+
+def test_nullable():
+    assert parse_regex("a*").nullable()
+    assert parse_regex("a?").nullable()
+    assert not parse_regex("a").nullable()
+    assert not parse_regex("a.b*").nullable()
+    assert parse_regex("a* | b").nullable()
+    assert not parse_regex("a+").nullable()
+
+
+def test_letters_excludes_any():
+    r = parse_regex("a.any.b")
+    assert r.letters() == {"a", "b"}
+    assert r.mentions_any()
+    assert not parse_regex("a.b").mentions_any()
+
+
+def test_any_content_constant():
+    assert ANY_CONTENT.nullable()
+    assert ANY_CONTENT.mentions_any()
+    assert ANY_CONTENT.letters() == set()
+
+
+def test_render_roundtrip():
+    for text in ["a", "a.b", "(a | b)", "a*", "(a.b)* | c?", "a.(b | c)+"]:
+        r = parse_regex(text)
+        again = parse_regex(r.render())
+        assert again == r
+
+
+def test_equality_and_hash_by_rendering():
+    assert parse_regex("a.b") == parse_regex("a . b")
+    assert hash(parse_regex("a|b")) == hash(parse_regex("a | b"))
+
+
+@pytest.mark.parametrize("bad", ["", "a..b", "(a", "a)", "*", "a |", "a %"])
+def test_syntax_errors(bad):
+    with pytest.raises(RegexSyntaxError):
+        parse_regex(bad)
+
+
+def test_letter_sequence_of_fixed_words():
+    assert letter_sequence(parse_regex("a.b.c")) == ["a", "b", "c"]
+    assert letter_sequence(parse_regex("empty")) == []
+    assert letter_sequence(parse_regex("a*")) is None
+    assert letter_sequence(parse_regex("a|b")) is None
+    assert letter_sequence(parse_regex("any")) is None

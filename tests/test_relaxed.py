@@ -1,0 +1,104 @@
+"""Tests for the relaxed (Section 6.1) relevance analysis.
+
+The "XPath approximation" drops value-based joins from the NFQs: it is
+cheaper to evaluate but may let join-inconsistent (hence irrelevant)
+calls through — always safely.
+"""
+
+from repro.axml.builder import C, E, V, build_document
+from repro.lazy.config import EngineConfig, Strategy
+from repro.lazy.engine import LazyQueryEvaluator
+from repro.lazy.relevance import NFQBuilder
+from repro.pattern.match import Matcher
+from repro.pattern.nodes import PatternKind
+from repro.pattern.parse import parse_pattern
+from repro.services.catalog import StaticService
+from repro.services.registry import ServiceBus, ServiceRegistry
+from repro.workloads.hotels import (
+    HotelsWorkloadParams,
+    build_hotels_workload,
+    paper_query,
+)
+
+
+def join_scenario():
+    """A call that only a join-aware NFQ can prove irrelevant.
+
+    Query: /r[s/a=$V][t/b=$V]/c — the two $V conditions are satisfied
+    extensionally by *different* values (1 vs 2) and no call can ever
+    add more a/b elements, so the call under c cannot contribute.
+    """
+    document = build_document(
+        E(
+            "r",
+            E("s", E("a", V("1"))),
+            E("t", E("b", V("2"))),
+            E("c", C("getMore", V("k"))),
+        )
+    )
+    registry = ServiceRegistry([StaticService("getMore", [E("x", V("3"))])])
+    query = parse_pattern("/r[s/a=$V][t/b=$V]/c/x")
+    return document, registry, query
+
+
+def retrieved_calls(query, document, drop_value_joins):
+    builder = NFQBuilder(query, drop_value_joins=drop_value_joins)
+    out = set()
+    for rq in builder.build_all():
+        for node in Matcher(rq.pattern).evaluate(document).distinct_nodes():
+            out.add(node.label)
+    return out
+
+
+def test_join_aware_nfq_prunes_inconsistent_call():
+    document, _, query = join_scenario()
+    assert retrieved_calls(query, document, drop_value_joins=False) == set()
+
+
+def test_relaxed_nfq_lets_the_call_through():
+    document, _, query = join_scenario()
+    assert retrieved_calls(query, document, drop_value_joins=True) == {
+        "getMore"
+    }
+
+
+def test_relaxed_engine_is_safe_but_busier():
+    document, registry, query = join_scenario()
+    exact_doc = document
+    relaxed_doc = exact_doc.copy()
+
+    exact = LazyQueryEvaluator(
+        ServiceBus(registry), config=EngineConfig(strategy=Strategy.LAZY_NFQ)
+    ).evaluate(query, exact_doc)
+    relaxed = LazyQueryEvaluator(
+        ServiceBus(ServiceRegistry([StaticService("getMore", [E("x", V("3"))])])),
+        config=EngineConfig(strategy=Strategy.LAZY_NFQ, drop_value_joins=True),
+    ).evaluate(query, relaxed_doc)
+
+    assert exact.value_rows() == relaxed.value_rows() == set()
+    assert exact.metrics.calls_invoked == 0
+    assert relaxed.metrics.calls_invoked == 1
+
+
+def test_relaxed_patterns_contain_no_variables():
+    builder = NFQBuilder(paper_query(), drop_value_joins=True)
+    for rq in builder.build_all():
+        assert all(
+            node.kind is not PatternKind.VARIABLE
+            for node in rq.pattern.nodes()
+        )
+
+
+def test_relaxed_agrees_on_the_hotels_workload():
+    wl = build_hotels_workload(HotelsWorkloadParams(n_hotels=10, seed=3))
+
+    def run(**kw):
+        bus = wl.make_bus()
+        return LazyQueryEvaluator(
+            bus, schema=wl.schema, config=EngineConfig(**kw)
+        ).evaluate(wl.query, wl.make_document())
+
+    exact = run(strategy=Strategy.LAZY_NFQ)
+    relaxed = run(strategy=Strategy.LAZY_NFQ, drop_value_joins=True)
+    assert relaxed.value_rows() == exact.value_rows()
+    assert relaxed.metrics.calls_invoked >= exact.metrics.calls_invoked

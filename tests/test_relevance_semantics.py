@@ -1,0 +1,139 @@
+"""Semantic tests for Definitions 2-4: rewriting, relevance, completeness.
+
+These check the *definitions* rather than the algorithms: NFQ-retrieved
+calls really can contribute transitively-produced data to the query
+result, and non-retrieved calls really cannot.
+"""
+
+from repro.axml.builder import C, E, V, build_document
+from repro.lazy.relevance import build_nfqs
+from repro.pattern.match import Matcher, snapshot_result
+from repro.pattern.parse import parse_pattern
+from repro.services.registry import ServiceBus
+from repro.workloads.hotels import (
+    figure_1_document,
+    figure_1_registry,
+    paper_query,
+)
+
+
+def nfq_retrieved(query, doc):
+    out = {}
+    for rq in build_nfqs(query):
+        for node in Matcher(rq.pattern).evaluate(doc).distinct_nodes():
+            out[node.node_id] = node
+    return out
+
+
+def test_retrieved_call_contributes_transitively_produced_data():
+    """Invoke a retrieved call with a witness result and check nodes it
+    (transitively) produced contribute to the snapshot result."""
+    doc = figure_1_document()
+    query = paper_query()
+    bus = ServiceBus(figure_1_registry())
+    retrieved = nfq_retrieved(query, doc)
+    resto_call = next(
+        n for n in retrieved.values() if n.label == "getNearbyRestos"
+    )
+    call_id = resto_call.node_id
+    reply, _ = bus.invoke(resto_call.label, resto_call.children)
+    doc.replace_call(resto_call, reply.forest)
+    rows = snapshot_result(query, doc)
+    assert rows  # "Jo Mama" qualifies
+    contributing = {id(n) for row in rows for n in row.nodes}
+    produced = {
+        id(n)
+        for n in doc.iter_nodes()
+        if doc.transitively_produced_by(n, call_id)
+    }
+    assert contributing & produced
+
+
+def test_unretrieved_calls_cannot_contribute():
+    """Calls under hotels with failed extensional conditions are not
+    retrieved; whatever they return can never produce new rows."""
+    doc = figure_1_document()
+    query = paper_query()
+    retrieved = set(nfq_retrieved(query, doc))
+    unretrieved = [
+        n for n in doc.function_nodes() if n.node_id not in retrieved
+    ]
+    assert unretrieved
+    # Hand every unretrieved call an adversarially helpful result: a
+    # five-star restaurant.  The snapshot result must stay empty
+    # (conditions above those positions are extensionally violated).
+    for call in unretrieved:
+        doc.replace_call(
+            call,
+            [
+                E(
+                    "restaurant",
+                    E("name", V("Trap")),
+                    E("address", V("Nowhere")),
+                    E("rating", V("5")),
+                )
+            ],
+        )
+    assert not snapshot_result(query, doc).value_rows()
+
+
+def test_relevance_is_optimistic():
+    """A call is relevant if SOME output could help, even if the actual
+    service never returns helpful data (Definition 3's optimism)."""
+    doc = build_document(
+        E(
+            "hotels",
+            E(
+                "hotel",
+                E("name", V("Best Western")),
+                E("address", V("a")),
+                E("rating", C("getRating", V("a"))),
+                E("nearby", E("restaurant",
+                              E("name", V("n")), E("address", V("ad")),
+                              E("rating", V("5")))),
+            ),
+        )
+    )
+    retrieved = nfq_retrieved(paper_query(), doc)
+    assert {n.label for n in retrieved.values()} == {"getRating"}
+
+
+def test_relevance_lost_after_contradicting_result():
+    """Section 4's motivating case: once getRating returns a low rating,
+    the sibling getNearbyRestos stops being relevant."""
+    doc = build_document(
+        E(
+            "hotels",
+            E(
+                "hotel",
+                E("name", V("Best Western")),
+                E("address", V("a")),
+                E("rating", C("getRating", V("a"))),
+                E("nearby", C("getNearbyRestos", V("a"))),
+            ),
+        )
+    )
+    query = paper_query()
+    before = {n.label for n in nfq_retrieved(query, doc).values()}
+    assert before == {"getRating", "getNearbyRestos"}
+    rating_call = [n for n in doc.function_nodes() if n.label == "getRating"][0]
+    doc.replace_call(rating_call, [V("2")])
+    after = {n.label for n in nfq_retrieved(query, doc).values()}
+    assert after == set()
+
+
+def test_relevance_gained_by_new_calls():
+    """Invocations may bring new relevant calls (Section 4.1, item 1)."""
+    doc = figure_1_document()
+    query = paper_query()
+    bus = ServiceBus(figure_1_registry())
+    resto_call = next(
+        n
+        for n in nfq_retrieved(query, doc).values()
+        if n.label == "getNearbyRestos"
+    )
+    reply, _ = bus.invoke(resto_call.label, resto_call.children)
+    doc.replace_call(resto_call, reply.forest)
+    after = {n.label for n in nfq_retrieved(query, doc).values()}
+    # Figure 3: the In Delis restaurant arrives with a nested getRating.
+    assert "getRating" in after

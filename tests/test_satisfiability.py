@@ -1,0 +1,169 @@
+"""Unit tests for the exact satisfiability oracle (Definition 6)."""
+
+import pytest
+
+from repro.pattern.nodes import EdgeKind, PatternKind, PatternNode
+from repro.pattern.parse import parse_pattern
+from repro.pattern.pattern import TreePattern
+from repro.schema.satisfiability import AlwaysSatisfiable, ExactSatisfiability
+from repro.schema.schema import parse_schema
+from repro.workloads.hotels import HOTELS_SCHEMA_TEXT
+
+
+@pytest.fixture
+def oracle():
+    return ExactSatisfiability(parse_schema(HOTELS_SCHEMA_TEXT))
+
+
+def value_pattern(text):
+    return TreePattern(PatternNode(PatternKind.VALUE, text))
+
+
+def test_direct_output_type_match(oracle):
+    q = parse_pattern('/restaurant[rating="5"]')
+    assert oracle.function_satisfies("getNearbyRestos", q)
+    assert not oracle.function_satisfies("getNearbyMuseums", q)
+
+
+def test_value_outputs(oracle):
+    assert oracle.function_satisfies("getRating", value_pattern("5"))
+    assert not oracle.function_satisfies("getNearbyRestos", value_pattern("5"))
+
+
+def test_derived_instances_count(oracle):
+    # getHotels -> hotel -> nearby -> getNearbyRestos -> restaurant:
+    # a restaurant query is satisfiable via two levels of derivation.
+    q = parse_pattern("/restaurant")
+    assert oracle.function_satisfies("getHotels", q, EdgeKind.DESCENDANT)
+    # ...but not at the immediate output level.
+    assert not oracle.function_satisfies("getHotels", q, EdgeKind.CHILD)
+
+
+def test_anchor_edge_distinguishes_depth(oracle):
+    q = parse_pattern("/name")
+    assert not oracle.function_satisfies("getHotels", q, EdgeKind.CHILD)
+    assert oracle.function_satisfies("getHotels", q, EdgeKind.DESCENDANT)
+
+
+def test_nested_subquery_conditions(oracle):
+    q = parse_pattern('/hotel[name="Best Western"][rating="5"]/nearby')
+    assert oracle.function_satisfies("getHotels", q)
+    q_bad = parse_pattern("/hotel/pool")
+    assert not oracle.function_satisfies("getHotels", q_bad)
+
+
+def test_function_letters_expand_inside_content():
+    # rating = (data | getRating): a rating value can arrive via a call.
+    schema = parse_schema(
+        """
+        functions:
+          getH = [in: data, out: hotel]
+          getR = [in: data, out: data]
+        elements:
+          hotel  = rating
+          rating = getR
+        """
+    )
+    oracle = ExactSatisfiability(schema)
+    q = parse_pattern('/hotel/rating/"5"')
+    assert oracle.function_satisfies("getH", q)
+
+
+def test_undeclared_function_satisfies_everything(oracle):
+    q = parse_pattern("/whatever[strange]/shape")
+    assert oracle.function_satisfies("unknownService", q)
+
+
+def test_exactness_on_exclusive_alternation():
+    schema = parse_schema(
+        """
+        functions:
+          f = [in: data, out: root]
+        elements:
+          root = (a | b)
+          a = data
+          b = data
+        """
+    )
+    oracle = ExactSatisfiability(schema)
+    assert oracle.function_satisfies("f", parse_pattern("/root[a]"))
+    assert oracle.function_satisfies("f", parse_pattern("/root[b]"))
+    # One root cannot have both an a and a b child.
+    assert not oracle.function_satisfies("f", parse_pattern("/root[a][b]"))
+
+
+def test_homomorphic_children_share_one_occurrence():
+    schema = parse_schema(
+        """
+        functions:
+          f = [in: data, out: root]
+        elements:
+          root = a
+          a = data
+        """
+    )
+    oracle = ExactSatisfiability(schema)
+    # Two pattern children both labelled a can map to the same child.
+    assert oracle.function_satisfies("f", parse_pattern("/root[a][a]"))
+
+
+def test_cardinality_via_star():
+    schema = parse_schema(
+        """
+        functions:
+          f = [in: data, out: root]
+        elements:
+          root = a.b?
+          a = data
+          b = data
+        """
+    )
+    oracle = ExactSatisfiability(schema)
+    assert oracle.function_satisfies("f", parse_pattern("/root[a][b]"))
+
+
+def test_recursive_output_types_terminate():
+    schema = parse_schema(
+        """
+        functions:
+          f = [in: data, out: node*]
+        elements:
+          node = label.(node | f)*
+          label = data
+        """
+    )
+    oracle = ExactSatisfiability(schema)
+    q = parse_pattern("/node//node/label")
+    assert oracle.function_satisfies("f", q)
+
+
+def test_any_typed_output_satisfies(oracle):
+    schema = parse_schema(
+        """
+        functions:
+          wild = [in: data, out: any]
+        elements:
+          a = data
+        """
+    )
+    o = ExactSatisfiability(schema)
+    assert o.function_satisfies("wild", parse_pattern("/zany[thing]"))
+
+
+def test_pattern_satisfiable_under_element(oracle):
+    q = parse_pattern('/nearby//restaurant[rating="5"]')
+    assert oracle.pattern_satisfiable_under("nearby", q.subtree_at(q.root))
+    assert not oracle.pattern_satisfiable_under("museum", q)
+
+
+def test_rejects_extended_patterns(oracle):
+    from repro.pattern.nodes import pelem, pfunc, por
+
+    bad = TreePattern(pelem("hotel", por(pelem("a"), pfunc(None))))
+    with pytest.raises(ValueError):
+        oracle.function_satisfies("getHotels", bad)
+
+
+def test_always_satisfiable_oracle():
+    oracle = AlwaysSatisfiable()
+    assert oracle.function_satisfies("anything", parse_pattern("/x/y"))

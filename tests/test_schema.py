@@ -1,0 +1,146 @@
+"""Unit tests for schemas: parsing, validation, derived alphabets."""
+
+import pytest
+
+from repro.axml.builder import C, E, V, build_document
+from repro.schema.regex import DATA, parse_regex
+from repro.schema.schema import Schema, SchemaError, parse_schema
+from repro.workloads.hotels import HOTELS_SCHEMA_TEXT, figure_1_document
+
+
+@pytest.fixture
+def schema():
+    return parse_schema(HOTELS_SCHEMA_TEXT)
+
+
+def test_parse_schema_sections(schema):
+    assert set(schema.function_names()) == {
+        "getHotels",
+        "getNearbyMuseums",
+        "getNearbyRestos",
+        "getRating",
+    }
+    assert schema.has_element("hotel")
+    assert schema.content_model("hotel") == parse_regex(
+        "name.address.rating.nearby"
+    )
+
+
+def test_signature_lookup(schema):
+    sig = schema.signature("getRating")
+    assert sig.input_type == parse_regex("data")
+    assert sig.output_type == parse_regex("data")
+    assert not sig.output_is_any
+
+
+def test_unknown_names_default_to_any(schema):
+    assert schema.signature("mystery").output_is_any
+    assert schema.content_model("mystery").mentions_any()
+    assert not schema.is_function_name("mystery")
+
+
+def test_declare_helpers():
+    schema = Schema()
+    schema.declare_element("a", "b*")
+    schema.declare_function("f", "data", "b")
+    assert schema.has_element("a")
+    assert schema.signature("f").output_type == parse_regex("b")
+
+
+def test_parse_schema_rejects_stray_lines():
+    with pytest.raises(SchemaError):
+        parse_schema("a = b")  # outside any section
+    with pytest.raises(SchemaError):
+        parse_schema("elements:\njust words")
+    with pytest.raises(SchemaError):
+        parse_schema("functions:\n f = data")  # missing [in:, out:]
+
+
+def test_comments_and_blank_lines_ignored():
+    schema = parse_schema(
+        """
+        # a comment
+        elements:
+          a = b*   # trailing comment
+
+        """
+    )
+    assert schema.has_element("a")
+
+
+def test_child_word(schema):
+    doc = figure_1_document()
+    hotel = doc.root.children[0]
+    assert Schema.child_word(hotel) == ["name", "address", "rating", "nearby"]
+    nearby = hotel.children[3]
+    assert Schema.child_word(nearby) == ["getNearbyRestos", "getNearbyMuseums"]
+
+
+def test_validate_figure_1_document(schema):
+    assert schema.validate_document(figure_1_document()) == []
+
+
+def test_validate_flags_bad_content(schema):
+    doc = build_document(E("hotels", E("hotel", E("name", V("x")))))
+    errors = schema.validate_document(doc)
+    assert len(errors) == 1
+    assert "hotel" in errors[0]
+
+
+def test_validate_output(schema):
+    ok = [E("restaurant", E("name", V("n")), E("address", V("a")), E("rating", V("5")))]
+    assert schema.validate_output("getNearbyRestos", ok) == []
+    bad = [E("museum", E("name", V("n")), E("address", V("a")))]
+    errors = schema.validate_output("getNearbyRestos", bad)
+    assert errors and "getNearbyRestos" in errors[0]
+
+
+def test_validate_call_input(schema):
+    doc = build_document(E("hotels", C("getHotels", E("oops"))))
+    errors = schema.validate_document(doc)
+    assert errors and "input of call" in errors[0]
+
+
+def test_derived_child_letters_expand_functions(schema):
+    letters, top = schema.derived_child_letters("rating")
+    assert letters == {DATA}
+    assert not top
+    letters, top = schema.derived_child_letters("nearby")
+    assert letters == {"restaurant", "museum"}
+    assert not top
+
+
+def test_derived_output_letters(schema):
+    letters, top = schema.derived_output_letters("getHotels")
+    assert letters == {"hotel"}
+    letters, top = schema.derived_output_letters("unknownService")
+    assert top
+
+
+def test_recursive_schema_alphabet_terminates():
+    schema = parse_schema(
+        """
+        functions:
+          f = [in: data, out: a.f?]
+        elements:
+          a = f?
+        """
+    )
+    letters, top = schema.derived_child_letters("a")
+    assert letters == {"a"}
+    assert not top
+
+
+def test_can_contain_closure(schema):
+    below, top = schema.can_contain_closure("hotel")
+    assert "restaurant" in below
+    assert "museum" in below
+    assert DATA in below
+    assert "hotel" not in below  # hotels do not nest
+    assert not top
+
+
+def test_render_roundtrips(schema):
+    again = parse_schema(schema.render())
+    assert again.function_names() == schema.function_names()
+    assert set(again.elements) == set(schema.elements)

@@ -1,0 +1,50 @@
+"""Direct tests for the simulated network model."""
+
+import pytest
+
+from repro.services.simulation import InvocationLog, NetworkModel
+
+
+def test_transfer_time_is_linear_in_bytes():
+    network = NetworkModel(per_kb_s=0.5)
+    assert network.transfer_time(0) == 0.0
+    assert network.transfer_time(1024) == pytest.approx(0.5)
+    assert network.transfer_time(2048) == pytest.approx(1.0)
+
+
+def test_record_combines_latency_and_transfers():
+    log = InvocationLog(network=NetworkModel(per_kb_s=1.0))
+    record = log.record(
+        service_name="s",
+        call_node_id=3,
+        request_bytes=1024,
+        response_bytes=2048,
+        service_latency_s=0.25,
+        pushed_query=None,
+        push_mode="none",
+        returned_bindings=False,
+        new_calls=0,
+    )
+    assert record.simulated_time_s == pytest.approx(0.25 + 1.0 + 2.0)
+    assert record.sequence == 0
+
+
+def test_sequence_numbers_increase():
+    log = InvocationLog()
+    first = log.record("a", None, 0, 0, 0.0, None, "none", False, 0)
+    second = log.record("b", None, 0, 0, 0.0, None, "none", False, 0)
+    assert (first.sequence, second.sequence) == (0, 1)
+
+
+def test_default_network_is_cheap_but_nonzero():
+    log = InvocationLog()
+    record = log.record("a", None, 10_240, 0, 0.0, None, "none", False, 0)
+    assert 0 < record.simulated_time_s < 1
+
+
+def test_totals_and_repr():
+    log = InvocationLog()
+    log.record("a", None, 10, 20, 0.1, None, "none", False, 2)
+    assert log.total_bytes == 30
+    assert log.total_simulated_time_s > 0.1
+    assert "calls=1" in repr(log)

@@ -1,0 +1,107 @@
+"""Tests for the static termination analysis (Section 2's condition)."""
+
+from repro.schema.schema import parse_schema
+from repro.schema.termination import (
+    analyze_termination,
+    call_graph,
+    guaranteed_terminating,
+)
+from repro.workloads.chains import build_chain_workload
+from repro.workloads.hotels import figure_1_schema
+
+
+def test_hotels_schema_terminates():
+    report = analyze_termination(figure_1_schema())
+    assert report.terminating
+    # getHotels -> getNearbyRestos -> getRating is the longest chain.
+    assert report.max_chain_length == 3
+    assert "acyclic" in report.explain()
+
+
+def test_call_graph_edges_follow_outputs():
+    graph = call_graph(figure_1_schema())
+    # getHotels returns hotels whose ratings/nearby embed further calls.
+    assert graph["getHotels"] == frozenset(
+        {"getRating", "getNearbyRestos", "getNearbyMuseums"}
+    )
+    assert graph["getRating"] == frozenset()
+    # getNearbyRestos returns restaurants whose rating may be a call.
+    assert graph["getNearbyRestos"] == frozenset({"getRating"})
+
+
+def test_direct_self_recursion_detected():
+    schema = parse_schema(
+        """
+        functions:
+          f = [in: data, out: wrapper]
+        elements:
+          wrapper = f?
+        """
+    )
+    report = analyze_termination(schema)
+    assert not report.terminating
+    assert report.cyclic_functions == frozenset({"f"})
+    assert "cycles" in report.explain()
+
+
+def test_mutual_recursion_detected():
+    schema = parse_schema(
+        """
+        functions:
+          f = [in: data, out: a]
+          g = [in: data, out: b]
+        elements:
+          a = g?
+          b = f?
+        """
+    )
+    report = analyze_termination(schema)
+    assert not report.terminating
+    assert report.cyclic_functions == frozenset({"f", "g"})
+
+
+def test_any_output_is_conservatively_cyclic():
+    schema = parse_schema(
+        """
+        functions:
+          wild = [in: data, out: any]
+          tame = [in: data, out: data]
+        elements:
+          a = data
+        """
+    )
+    report = analyze_termination(schema)
+    # wild may emit wild again: not provably terminating.
+    assert not report.terminating
+    assert "wild" in report.cyclic_functions
+
+
+def test_chain_schema_height_matches_depth():
+    wl = build_chain_workload(depth=5, width=1)
+    report = analyze_termination(wl.schema)
+    assert report.terminating
+    assert report.max_chain_length == 5
+
+
+def test_empty_schema_trivially_terminates():
+    assert guaranteed_terminating(parse_schema("elements:\n a = data"))
+
+
+def test_nested_function_edges_are_not_transitive():
+    """f -> g means g appears in f's output; g's own emissions are g's
+    edges, not f's (the chain is still found via the graph)."""
+    schema = parse_schema(
+        """
+        functions:
+          f = [in: data, out: a]
+          g = [in: data, out: b]
+          h = [in: data, out: data]
+        elements:
+          a = g?
+          b = h?
+        """
+    )
+    graph = call_graph(schema)
+    assert graph["f"] == frozenset({"g"})
+    assert graph["g"] == frozenset({"h"})
+    assert analyze_termination(schema).max_chain_length == 3
