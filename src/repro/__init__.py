@@ -73,14 +73,21 @@ from .schema import (
 )
 from .services import (
     CallableService,
+    CircuitBreakerPolicy,
+    CircuitOpenFault,
+    FlakyService,
     NetworkModel,
     PushMode,
+    RetryPolicy,
     SequenceService,
     Service,
     ServiceBus,
+    ServiceFault,
     ServiceRegistry,
+    SlowService,
     StaticService,
     TableService,
+    TimeoutFault,
     make_signature,
 )
 
@@ -91,6 +98,8 @@ __all__ = [
     "BindingsOverlay",
     "C",
     "CallableService",
+    "CircuitBreakerPolicy",
+    "CircuitOpenFault",
     "ContinuousQuery",
     "Document",
     "DocumentStats",
@@ -101,6 +110,7 @@ __all__ = [
     "ExactSatisfiability",
     "FGuide",
     "FaultPolicy",
+    "FlakyService",
     "FunctionSignature",
     "LazyQueryEvaluator",
     "LenientSatisfiability",
@@ -113,15 +123,19 @@ __all__ = [
     "Node",
     "NodeKind",
     "PushMode",
+    "RetryPolicy",
     "Schema",
     "SequenceService",
     "Service",
     "ServiceBus",
+    "ServiceFault",
     "ServiceRegistry",
+    "SlowService",
     "StaticService",
     "Strategy",
     "TableService",
     "TerminationReport",
+    "TimeoutFault",
     "TreePattern",
     "TypingMode",
     "V",

@@ -47,13 +47,15 @@ from .lazy.report import compare_strategies, format_comparison
 from .pattern.parse import parse_pattern
 from .schema.schema import Schema, parse_schema
 from .schema.termination import analyze_termination
-from .services.catalog import TableService, make_signature
+from .services.catalog import FlakyService, TableService, make_signature
 from .services.registry import ServiceBus, ServiceRegistry
+from .services.resilience import CircuitBreakerPolicy, RetryPolicy
 from .services.service import PushMode
 
 _STRATEGIES = {s.value: s for s in Strategy}
 _PUSH_MODES = {m.value: m for m in PushMode}
 _TYPINGS = {t.value: t for t in TypingMode}
+_FAULT_POLICIES = {p.value: p for p in FaultPolicy}
 
 
 def load_services(path: str) -> ServiceRegistry:
@@ -107,7 +109,27 @@ def _forest_of(container: ET.Element) -> list[Node]:
     return forest
 
 
+def _fault_policy_of(args: argparse.Namespace) -> FaultPolicy:
+    if args.fault_policy is not None:
+        return _FAULT_POLICIES[args.fault_policy]
+    if args.skip_faults:  # legacy flag: explicit lossy tolerance
+        return FaultPolicy.SKIP
+    if args.tolerant:
+        return FaultPolicy.default_non_raising()
+    return FaultPolicy.RAISE
+
+
 def _build_config(args: argparse.Namespace) -> EngineConfig:
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts,
+        base_backoff_s=args.backoff,
+        timeout_s=args.timeout,
+    )
+    breaker = (
+        CircuitBreakerPolicy(failure_threshold=args.breaker_threshold)
+        if args.breaker_threshold > 0
+        else None
+    )
     return EngineConfig(
         strategy=_STRATEGIES[args.strategy],
         typing=_TYPINGS[args.typing],
@@ -118,11 +140,28 @@ def _build_config(args: argparse.Namespace) -> EngineConfig:
         push_mode=_PUSH_MODES[args.push],
         drop_value_joins=args.relaxed,
         validate_io=args.validate_io,
-        fault_policy=(
-            FaultPolicy.SKIP if args.skip_faults else FaultPolicy.RAISE
-        ),
+        fault_policy=_fault_policy_of(args),
+        retry=retry,
+        breaker=breaker,
         max_invocations=args.max_calls,
     )
+
+
+def _maybe_inject_faults(
+    registry: ServiceRegistry, args: argparse.Namespace
+) -> ServiceRegistry:
+    """Wrap every service in a seeded FlakyService when --fault-rate asks."""
+    if not getattr(args, "fault_rate", 0.0):
+        return registry
+    flaky = ServiceRegistry(
+        FlakyService(
+            registry.resolve(name),
+            fault_rate=args.fault_rate,
+            seed=args.fault_seed + index,
+        )
+        for index, name in enumerate(registry.names())
+    )
+    return flaky
 
 
 def cmd_eval(args: argparse.Namespace) -> int:
@@ -131,6 +170,7 @@ def cmd_eval(args: argparse.Namespace) -> int:
     registry = (
         load_services(args.services) if args.services else ServiceRegistry([])
     )
+    registry = _maybe_inject_faults(registry, args)
     query = parse_pattern(args.query)
     engine = LazyQueryEvaluator(
         ServiceBus(registry), schema=schema, config=_build_config(args)
@@ -246,7 +286,58 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--no-layers", action="store_true")
     ev.add_argument("--sequential", action="store_true")
     ev.add_argument("--validate-io", action="store_true")
-    ev.add_argument("--skip-faults", action="store_true")
+    ev.add_argument(
+        "--fault-policy",
+        choices=sorted(_FAULT_POLICIES),
+        default=None,
+        help="what to do when a service faults (default: raise)",
+    )
+    ev.add_argument(
+        "--tolerant",
+        action="store_true",
+        help="shorthand for the default non-raising policy (freeze)",
+    )
+    ev.add_argument(
+        "--skip-faults",
+        action="store_true",
+        help="legacy: delete faulted calls (lossy; prefer --fault-policy freeze)",
+    )
+    ev.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="retry budget per call under --fault-policy retry",
+    )
+    ev.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        help="base exponential backoff between retries, simulated seconds",
+    )
+    ev.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-attempt simulated deadline in seconds",
+    )
+    ev.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive faults before a service's circuit opens (0 disables)",
+    )
+    ev.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="inject faults: wrap every service in a seeded FlakyService",
+    )
+    ev.add_argument(
+        "--fault-seed",
+        type=int,
+        default=2004,
+        help="seed for --fault-rate injection",
+    )
     ev.add_argument("--max-calls", type=int, default=100_000)
     ev.add_argument("--save-document", help="write the rewritten document")
     ev.set_defaults(handler=cmd_eval)

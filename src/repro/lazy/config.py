@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+from typing import Optional
 
+from ..services.resilience import CircuitBreakerPolicy, RetryPolicy
 from ..services.service import PushMode
 
 
@@ -42,10 +44,32 @@ class TypingMode(enum.Enum):
 
 
 class FaultPolicy(enum.Enum):
-    """What to do when a service invocation fails."""
+    """What to do when a service invocation fails.
+
+    * ``RAISE`` — propagate the fault to the caller (the default);
+    * ``SKIP`` — legacy tolerance: *delete* the faulted call's subtree
+      and continue.  Lossy — a transient blip changes query answers —
+      and kept only for backward compatibility behind this explicit
+      policy;
+    * ``FREEZE`` — mark the faulted call
+      :attr:`~repro.axml.node.Activation.FROZEN` and continue: the
+      document keeps the intensional call, answers degrade to "what the
+      available data supports", and nothing is lost.  The recommended
+      (and default) non-raising policy;
+    * ``RETRY`` — re-attempt per :class:`EngineConfig.retry` with
+      backoff; calls still failing after the last attempt (or
+      short-circuited by an open breaker) are frozen, as in ``FREEZE``.
+    """
 
     RAISE = "raise"
     SKIP = "skip"
+    FREEZE = "freeze"
+    RETRY = "retry"
+
+    @classmethod
+    def default_non_raising(cls) -> "FaultPolicy":
+        """The policy tolerant configurations should reach for."""
+        return cls.FREEZE
 
 
 @dataclasses.dataclass
@@ -73,6 +97,14 @@ class EngineConfig:
     dedupe_relevance_queries: bool = True
     drop_value_joins: bool = False
     fault_policy: FaultPolicy = FaultPolicy.RAISE
+    retry: RetryPolicy = RetryPolicy()
+    """Retry/backoff/timeout tunables, active under
+    ``FaultPolicy.RETRY`` (other policies make a single attempt, though
+    ``retry.timeout_s`` still bounds it)."""
+    breaker: Optional[CircuitBreakerPolicy] = CircuitBreakerPolicy()
+    """Per-service circuit breaking; ``None`` disables it.  Breaker
+    *state* lives on the bus, so it persists across evaluations that
+    share a :class:`~repro.services.registry.ServiceBus`."""
     validate_io: bool = False
     """Validate call parameters against the service input type before
     invoking, and (un-pushed) results against the output type after —
@@ -83,12 +115,23 @@ class EngineConfig:
     max_rounds: int = 100_000
 
     def __post_init__(self) -> None:
+        # A plain string ("retry") would compare unequal to the enum and
+        # silently fall back to freeze semantics; coerce or fail loudly.
+        if not isinstance(self.fault_policy, FaultPolicy):
+            self.fault_policy = FaultPolicy(self.fault_policy)
         if self.strategy is Strategy.LAZY_NFQ_TYPED and self.typing is TypingMode.NONE:
             self.typing = TypingMode.LENIENT
         if self.strategy in (Strategy.NAIVE, Strategy.TOP_DOWN):
             self.use_layers = False
         if self.strategy is Strategy.TOP_DOWN:
             self.parallel = False
+
+    @classmethod
+    def tolerant(cls, **kwargs) -> "EngineConfig":
+        """A config that survives remote faults without losing data:
+        ``FREEZE`` (the non-raising default) unless overridden."""
+        kwargs.setdefault("fault_policy", FaultPolicy.default_non_raising())
+        return cls(**kwargs)
 
     @property
     def label(self) -> str:

@@ -34,7 +34,6 @@ from ..pattern.pattern import TreePattern
 from ..schema.graphschema import LenientSatisfiability
 from ..schema.satisfiability import ExactSatisfiability, SatisfiabilityOracle
 from ..schema.schema import Schema, SchemaError
-from ..services.catalog import ServiceFault
 from ..services.registry import ServiceBus
 from ..services.service import PushMode
 from .config import EngineConfig, FaultPolicy, Strategy, TypingMode
@@ -485,24 +484,49 @@ class _EvaluationState:
             self._check_io(self._schema.validate_node(call))
 
         parent = call.parent
-        try:
-            reply, record = self.bus.invoke(
-                call.label,
-                call.children,
-                call_node_id=call.node_id,
-                pushed=pushed.pattern if pushed and push_mode is not PushMode.NONE else None,
-                push_mode=push_mode,
-                anchor_edge=pushed.anchor_edge if pushed else EdgeKind.CHILD,
-            )
-        except ServiceFault:
-            if self.config.fault_policy is FaultPolicy.RAISE:
-                raise
-            self.metrics.faults += 1
-            self.document.replace_call(call, [])
-            self.invocations += 1
-            self.metrics.calls_invoked += 1
-            return None
+        policy = self.config.fault_policy
+        retry = (
+            self.config.retry
+            if policy is FaultPolicy.RETRY
+            else self.config.retry.single_attempt()
+        )
+        outcome = self.bus.invoke_resilient(
+            call.label,
+            call.children,
+            call_node_id=call.node_id,
+            pushed=pushed.pattern if pushed and push_mode is not PushMode.NONE else None,
+            push_mode=push_mode,
+            anchor_edge=pushed.anchor_edge if pushed else EdgeKind.CHILD,
+            retry=retry,
+            breaker_policy=self.config.breaker,
+        )
+        metrics = self.metrics
+        metrics.faults += outcome.faults
+        metrics.retries += outcome.retries
+        metrics.backoff_s += outcome.backoff_s
+        metrics.failed_attempt_time_s += outcome.fault_time_s
+        metrics.breaker_trips += outcome.breaker_trips
+        if outcome.short_circuited:
+            metrics.breaker_short_circuits += 1
 
+        if not outcome.succeeded:
+            if policy is FaultPolicy.RAISE:
+                assert outcome.fault is not None
+                raise outcome.fault
+            self._resolve_faulted_call(call, policy)
+            if outcome.attempts == 0:
+                # Pure breaker short-circuit: nothing was shipped, so no
+                # invocation (or round) is accounted.
+                return None
+            self.invocations += 1
+            metrics.calls_invoked += 1
+            # Failed attempts still burned simulated time — returning it
+            # (instead of None) makes fault-only rounds count toward the
+            # round budget and the simulated clocks.
+            return outcome.fault_time_s + outcome.backoff_s
+
+        reply, record = outcome.reply, outcome.record
+        assert reply is not None and record is not None
         if self.config.validate_io and reply.push_mode is PushMode.NONE:
             # Pushed replies are legitimately pruned below the output
             # type, so only plain replies are checked against it.
@@ -519,7 +543,22 @@ class _EvaluationState:
             self.overlay.add(parent, pushed, reply.bindings or [])
         if self._builder is not None and new_calls:
             self._builder.add_function_names(c.label for c in new_calls)
-        return record.simulated_time_s
+        return record.simulated_time_s + outcome.fault_time_s + outcome.backoff_s
+
+    def _resolve_faulted_call(self, call: Node, policy: FaultPolicy) -> None:
+        """Leave the document in a sound state after a definitive fault.
+
+        ``SKIP`` preserves its legacy (lossy) semantics: the call's
+        subtree is deleted.  Every other tolerant policy freezes the
+        call instead — the document keeps the intensional node, the
+        relevance loop stops retrieving it, and nothing is lost.
+        """
+        if policy is FaultPolicy.SKIP:
+            self.document.replace_call(call, [])
+            self.metrics.calls_skipped += 1
+        else:
+            call.activation = Activation.FROZEN
+            self.metrics.calls_frozen += 1
 
     def _check_io(self, errors: list[str]) -> None:
         """Handle parameter/output type violations per the fault policy."""
@@ -566,6 +605,9 @@ class _EvaluationState:
     def _account_round(
         self, times: list[float], layer_index: Optional[int], parallel: bool
     ) -> None:
+        # ``times`` has one entry per *attempted* invocation, including
+        # fully-faulted ones (their failed-attempt + backoff time) — so
+        # fault-only rounds still count toward the ``max_rounds`` budget.
         if not times:
             return
         self.metrics.invocation_rounds += 1

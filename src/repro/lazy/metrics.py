@@ -40,6 +40,25 @@ class Metrics:
     final_document_nodes: int = 0
     result_rows: int = 0
     faults: int = 0
+    """Failed invocation attempts (every attempt counts, not just the
+    final failure of a retry sequence)."""
+    retries: int = 0
+    """Re-attempts after a fault (a call that fails twice then succeeds
+    contributes two faults and two retries)."""
+    backoff_s: float = 0.0
+    """Simulated time spent waiting between retry attempts."""
+    failed_attempt_time_s: float = 0.0
+    """Simulated time burned inside failed attempts (latency + request
+    transfer, or the missed timeout deadline)."""
+    breaker_trips: int = 0
+    """Times a circuit breaker transitioned to OPEN."""
+    breaker_short_circuits: int = 0
+    """Invocations answered by an open breaker without touching the
+    service (nothing shipped, nothing logged)."""
+    calls_frozen: int = 0
+    """Calls left intensional (``Activation.FROZEN``) after a fault."""
+    calls_skipped: int = 0
+    """Calls whose subtree the legacy SKIP policy deleted."""
     io_violations: int = 0
 
     analysis_wall_s: float = 0.0
@@ -62,7 +81,7 @@ class Metrics:
         return self.bytes_sent + self.bytes_received
 
     def summary(self) -> str:
-        return (
+        text = (
             f"[{self.strategy}] calls={self.calls_invoked} "
             f"rounds={self.invocation_rounds} "
             f"rel-evals={self.relevance_evaluations} "
@@ -72,6 +91,15 @@ class Metrics:
             f"analysis {self.analysis_wall_s:.3f}s) "
             f"rows={self.result_rows}"
         )
+        if self.faults or self.retries or self.breaker_short_circuits:
+            text += (
+                f" faults={self.faults} retries={self.retries} "
+                f"backoff={self.backoff_s:.3f}s "
+                f"frozen={self.calls_frozen} skipped={self.calls_skipped} "
+                f"breaker-trips={self.breaker_trips}"
+                f"/{self.breaker_short_circuits}"
+            )
+        return text
 
 
 @dataclasses.dataclass

@@ -3,14 +3,25 @@
 from .catalog import (
     EmptyService,
     FailingService,
+    FlakyService,
     SequenceService,
     ServiceFault,
+    SlowService,
     StaticService,
     TableService,
+    TimeoutFault,
     first_value,
     make_signature,
 )
 from .registry import ServiceBus, ServiceRegistry, UnknownServiceError
+from .resilience import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    CircuitOpenFault,
+    ResilientOutcome,
+    RetryPolicy,
+)
 from .service import (
     BindingRow,
     CallableService,
@@ -22,21 +33,30 @@ from .simulation import InvocationLog, InvocationRecord, NetworkModel
 
 __all__ = [
     "BindingRow",
+    "BreakerState",
     "CallReply",
     "CallableService",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
+    "CircuitOpenFault",
     "EmptyService",
     "FailingService",
+    "FlakyService",
     "InvocationLog",
     "InvocationRecord",
     "NetworkModel",
     "PushMode",
+    "ResilientOutcome",
+    "RetryPolicy",
     "SequenceService",
     "Service",
     "ServiceBus",
     "ServiceFault",
     "ServiceRegistry",
+    "SlowService",
     "StaticService",
     "TableService",
+    "TimeoutFault",
     "UnknownServiceError",
     "first_value",
     "make_signature",

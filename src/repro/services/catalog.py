@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import random
 from typing import Optional, Sequence
 
 from ..axml.node import Node
@@ -12,6 +13,15 @@ from .service import Service
 
 class ServiceFault(RuntimeError):
     """A simulated remote failure (network drop, SOAP fault...)."""
+
+
+class TimeoutFault(ServiceFault):
+    """A simulated deadline miss: the reply did not arrive in time.
+
+    Raised either by the bus when an attempt's simulated time exceeds
+    the :class:`~repro.services.resilience.RetryPolicy` timeout, or by a
+    :class:`FlakyService` configured to fail with timeouts.
+    """
 
 
 def make_signature(name: str, input_type: str, output_type: str) -> FunctionSignature:
@@ -153,4 +163,68 @@ class FailingService(Service):
         if self._remaining_failures > 0:
             self._remaining_failures -= 1
             raise ServiceFault(f"simulated fault in {self.name!r}")
+        return self._delegate.produce(parameters)
+
+
+class FlakyService(Service):
+    """Fault injection: fails a seeded-random fraction of invocations.
+
+    Wraps a delegate (keeping its name, signature, latency and push
+    capability) and raises :class:`ServiceFault` — or
+    :class:`TimeoutFault` when ``fault_kind="timeout"`` — with
+    probability ``fault_rate`` on each invocation.  The RNG is seeded so
+    a given wrapper produces the same fault pattern on every run;
+    ``fault_rate=1.0`` always fails (the breaker-trip scenario).
+    """
+
+    def __init__(
+        self,
+        delegate: Service,
+        fault_rate: float,
+        seed: int = 2004,
+        fault_kind: str = "fault",
+    ) -> None:
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError("fault_rate must be within [0, 1]")
+        if fault_kind not in ("fault", "timeout"):
+            raise ValueError("fault_kind must be 'fault' or 'timeout'")
+        super().__init__(
+            delegate.name,
+            signature=delegate.signature,
+            latency_s=delegate.latency_s,
+            supports_push=delegate.supports_push,
+        )
+        self._delegate = delegate
+        self.fault_rate = fault_rate
+        self.fault_kind = fault_kind
+        self._rng = random.Random(seed)
+        self.injected_faults = 0
+
+    def produce(self, parameters: Sequence[Node]) -> list[Node]:
+        if self._rng.random() < self.fault_rate:
+            self.injected_faults += 1
+            if self.fault_kind == "timeout":
+                raise TimeoutFault(f"simulated timeout in {self.name!r}")
+            raise ServiceFault(f"simulated flaky fault in {self.name!r}")
+        return self._delegate.produce(parameters)
+
+
+class SlowService(Service):
+    """Fault injection: a delegate with extra simulated latency.
+
+    Combined with a :class:`~repro.services.resilience.RetryPolicy`
+    timeout below the padded latency, every attempt misses its deadline
+    — the deterministic way to exercise :class:`TimeoutFault` handling.
+    """
+
+    def __init__(self, delegate: Service, extra_latency_s: float) -> None:
+        super().__init__(
+            delegate.name,
+            signature=delegate.signature,
+            latency_s=delegate.latency_s + extra_latency_s,
+            supports_push=delegate.supports_push,
+        )
+        self._delegate = delegate
+
+    def produce(self, parameters: Sequence[Node]) -> list[Node]:
         return self._delegate.produce(parameters)

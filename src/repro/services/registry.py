@@ -15,6 +15,14 @@ from ..axml.xmlio import forest_size_bytes, serialized_size
 from ..pattern.nodes import EdgeKind
 from ..pattern.pattern import TreePattern
 from ..schema.schema import Schema
+from .catalog import ServiceFault, TimeoutFault
+from .resilience import (
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    CircuitOpenFault,
+    ResilientOutcome,
+    RetryPolicy,
+)
 from .service import CallReply, PushMode, Service
 from .simulation import InvocationLog, InvocationRecord, NetworkModel
 
@@ -53,8 +61,18 @@ class ServiceRegistry:
         return len(self._services)
 
     def schema_with_signatures(self, base: Optional[Schema] = None) -> Schema:
-        """A schema enriched with every registered service signature."""
-        schema = base or Schema()
+        """A *copy* of ``base`` enriched with every registered signature.
+
+        The caller's schema is never mutated: the engine passes the
+        user's shared ``evaluator.schema`` here on every evaluation, and
+        merging in place would leak service signatures into it.
+        """
+        if base is None:
+            schema = Schema()
+        else:
+            schema = Schema(
+                elements=base.elements, functions=base.functions.values()
+            )
         for service in self._services.values():
             if service.signature is not None:
                 schema.functions[service.name] = service.signature
@@ -62,7 +80,17 @@ class ServiceRegistry:
 
 
 class ServiceBus:
-    """Invokes services and accounts the traffic."""
+    """Invokes services and accounts the traffic.
+
+    Beyond name resolution and byte/time accounting, the bus is the
+    resilience layer: it logs *faulted* attempts (a fault still ships a
+    request and burns simulated time), enforces per-attempt simulated
+    timeouts, runs the retry/backoff loop of
+    :class:`~repro.services.resilience.RetryPolicy`, and keeps one
+    :class:`~repro.services.resilience.CircuitBreaker` per service.
+    ``clock_s`` is the bus's simulated clock — it advances with every
+    attempt and every backoff wait, and drives breaker cool-downs.
+    """
 
     def __init__(
         self,
@@ -71,6 +99,21 @@ class ServiceBus:
     ) -> None:
         self.registry = registry
         self.log = InvocationLog(network=network)
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.clock_s: float = 0.0
+
+    def breaker_for(
+        self, service_name: str, policy: CircuitBreakerPolicy
+    ) -> CircuitBreaker:
+        breaker = self.breakers.get(service_name)
+        if breaker is None:
+            breaker = CircuitBreaker(policy)
+            self.breakers[service_name] = breaker
+        return breaker
+
+    def reset_breakers(self) -> None:
+        for breaker in self.breakers.values():
+            breaker.reset()
 
     def invoke(
         self,
@@ -80,20 +123,60 @@ class ServiceBus:
         pushed: Optional[TreePattern] = None,
         push_mode: PushMode = PushMode.NONE,
         anchor_edge: EdgeKind = EdgeKind.CHILD,
+        attempt: int = 1,
+        timeout_s: Optional[float] = None,
     ) -> tuple[CallReply, InvocationRecord]:
+        """One attempt.  Faults are logged (with the fault flag set and
+        their request bytes / simulated time charged) and re-raised."""
         service = self.registry.resolve(service_name)
-        reply = service.invoke(
-            parameters,
-            pushed=pushed,
-            push_mode=push_mode,
-            anchor_edge=anchor_edge,
-        )
         request_bytes = sum(serialized_size(p) for p in parameters)
         pushed_text: Optional[str] = None
         if pushed is not None and push_mode is not PushMode.NONE:
             pushed_text = pushed.to_string()
             request_bytes += len(pushed_text.encode("utf-8"))
+        try:
+            reply = service.invoke(
+                parameters,
+                pushed=pushed,
+                push_mode=push_mode,
+                anchor_edge=anchor_edge,
+            )
+        except ServiceFault as fault:
+            self._record_fault(
+                service_name=service_name,
+                call_node_id=call_node_id,
+                request_bytes=request_bytes,
+                service=service,
+                pushed_text=pushed_text,
+                attempt=attempt,
+                fault=fault,
+                timeout_s=timeout_s,
+            )
+            raise
         response_bytes = self._response_bytes(reply)
+        simulated = (
+            service.latency_s
+            + self.log.network.transfer_time(request_bytes)
+            + self.log.network.transfer_time(response_bytes)
+        )
+        if timeout_s is not None and simulated > timeout_s:
+            # The reply exists but arrived past the deadline: the caller
+            # never sees it, waits exactly ``timeout_s``, and gets a fault.
+            fault = TimeoutFault(
+                f"service {service_name!r} missed its "
+                f"{timeout_s:.3f}s deadline ({simulated:.3f}s simulated)"
+            )
+            self._record_fault(
+                service_name=service_name,
+                call_node_id=call_node_id,
+                request_bytes=request_bytes,
+                service=service,
+                pushed_text=pushed_text,
+                attempt=attempt,
+                fault=fault,
+                timeout_s=timeout_s,
+            )
+            raise fault
         record = self.log.record(
             service_name=service_name,
             call_node_id=call_node_id,
@@ -109,8 +192,112 @@ class ServiceBus:
                 for node in tree.iter_subtree()
                 if node.is_function
             ),
+            attempt=attempt,
         )
+        self.clock_s += record.simulated_time_s
         return reply, record
+
+    def invoke_resilient(
+        self,
+        service_name: str,
+        parameters: Sequence[Node],
+        call_node_id: Optional[int] = None,
+        pushed: Optional[TreePattern] = None,
+        push_mode: PushMode = PushMode.NONE,
+        anchor_edge: EdgeKind = EdgeKind.CHILD,
+        retry: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[CircuitBreakerPolicy] = None,
+    ) -> ResilientOutcome:
+        """The resilient invocation loop: breaker gate, attempts, backoff.
+
+        Never raises on service faults — the outcome's ``fault`` field
+        carries the last failure so callers apply their own policy.
+        (Unknown services still raise: that is a caller bug, not a
+        remote fault.)
+        """
+        retry = retry or RetryPolicy()
+        breaker = (
+            self.breaker_for(service_name, breaker_policy)
+            if breaker_policy is not None
+            else None
+        )
+        outcome = ResilientOutcome()
+        for attempt in range(1, retry.max_attempts + 1):
+            if breaker is not None and not breaker.allow(self.clock_s):
+                outcome.short_circuited = True
+                outcome.fault = CircuitOpenFault(service_name)
+                return outcome
+            if attempt > 1:
+                backoff = retry.backoff_before(attempt, key=service_name)
+                outcome.backoff_s += backoff
+                self.clock_s += backoff
+                outcome.retries += 1
+            outcome.attempts += 1
+            try:
+                reply, record = self.invoke(
+                    service_name,
+                    parameters,
+                    call_node_id=call_node_id,
+                    pushed=pushed,
+                    push_mode=push_mode,
+                    anchor_edge=anchor_edge,
+                    attempt=attempt,
+                    timeout_s=retry.timeout_s,
+                )
+            except ServiceFault as fault:
+                outcome.faults += 1
+                outcome.fault = fault
+                if self.log.records and self.log.records[-1].fault:
+                    outcome.fault_time_s += self.log.records[-1].simulated_time_s
+                if breaker is not None and breaker.record_failure(self.clock_s):
+                    outcome.breaker_trips += 1
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            outcome.reply = reply
+            outcome.record = record
+            outcome.fault = None
+            return outcome
+        return outcome
+
+    def _record_fault(
+        self,
+        *,
+        service_name: str,
+        call_node_id: Optional[int],
+        request_bytes: int,
+        service: Service,
+        pushed_text: Optional[str],
+        attempt: int,
+        fault: ServiceFault,
+        timeout_s: Optional[float],
+    ) -> InvocationRecord:
+        # A timed-out attempt costs exactly the missed deadline; any
+        # other fault costs the round-trip latency plus the request
+        # transfer (the request was shipped before the failure).
+        if isinstance(fault, TimeoutFault) and timeout_s is not None:
+            charged: Optional[float] = timeout_s
+        else:
+            charged = service.latency_s + self.log.network.transfer_time(
+                request_bytes
+            )
+        record = self.log.record(
+            service_name=service_name,
+            call_node_id=call_node_id,
+            request_bytes=request_bytes,
+            response_bytes=0,
+            service_latency_s=service.latency_s,
+            pushed_query=pushed_text,
+            push_mode=PushMode.NONE.value,
+            returned_bindings=False,
+            new_calls=0,
+            fault=True,
+            fault_kind="timeout" if isinstance(fault, TimeoutFault) else "fault",
+            attempt=attempt,
+            charged_time_s=charged,
+        )
+        self.clock_s += record.simulated_time_s
+        return record
 
     @staticmethod
     def _response_bytes(reply: CallReply) -> int:

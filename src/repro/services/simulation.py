@@ -34,7 +34,14 @@ class NetworkModel:
 
 @dataclasses.dataclass(frozen=True)
 class InvocationRecord:
-    """One entry of the invocation log."""
+    """One entry of the invocation log.
+
+    Since the resilience layer, the log records *attempts*, not just
+    successes: a failed attempt carries ``fault=True`` (with
+    ``fault_kind`` naming the failure) and still accounts its request
+    bytes and simulated time — faults are not free.  ``attempt`` is the
+    1-based position within one call's retry sequence.
+    """
 
     sequence: int
     service_name: str
@@ -46,6 +53,9 @@ class InvocationRecord:
     push_mode: str
     returned_bindings: bool
     new_calls: int
+    fault: bool = False
+    fault_kind: Optional[str] = None
+    attempt: int = 1
 
 
 class InvocationLog:
@@ -66,9 +76,17 @@ class InvocationLog:
         push_mode: str,
         returned_bindings: bool,
         new_calls: int,
+        fault: bool = False,
+        fault_kind: Optional[str] = None,
+        attempt: int = 1,
+        charged_time_s: Optional[float] = None,
     ) -> InvocationRecord:
+        # ``charged_time_s`` overrides the latency+transfer formula, e.g.
+        # a timed-out attempt costs exactly the deadline it missed.
         simulated = (
-            service_latency_s
+            charged_time_s
+            if charged_time_s is not None
+            else service_latency_s
             + self.network.transfer_time(request_bytes)
             + self.network.transfer_time(response_bytes)
         )
@@ -83,6 +101,9 @@ class InvocationLog:
             push_mode=push_mode,
             returned_bindings=returned_bindings,
             new_calls=new_calls,
+            fault=fault,
+            fault_kind=fault_kind,
+            attempt=attempt,
         )
         self.records.append(entry)
         return entry
@@ -91,7 +112,23 @@ class InvocationLog:
 
     @property
     def call_count(self) -> int:
+        """Total logged attempts (successful and faulted)."""
         return len(self.records)
+
+    @property
+    def fault_count(self) -> int:
+        return sum(1 for r in self.records if r.fault)
+
+    @property
+    def successful_count(self) -> int:
+        return len(self.records) - self.fault_count
+
+    def faults_by_service(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for record in self.records:
+            if record.fault:
+                out[record.service_name] = out.get(record.service_name, 0) + 1
+        return out
 
     @property
     def total_request_bytes(self) -> int:

@@ -184,3 +184,70 @@ def test_eval_speculative_flag(workspace, capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "+spec" in out
+
+
+def test_eval_fault_flags_retry_recovers(workspace, capsys):
+    code = main(
+        [
+            "eval",
+            "--document",
+            str(workspace / "hotels.xml"),
+            "--services",
+            str(workspace / "services.xml"),
+            "--query",
+            QUERY,
+            "--fault-policy",
+            "retry",
+            "--max-attempts",
+            "4",
+            "--fault-rate",
+            "0.4",
+            "--fault-seed",
+            "9",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Jo Mama" in out  # the full answer survived the injected faults
+
+
+def test_eval_tolerant_flag_freezes_instead_of_crashing(workspace, capsys):
+    code = main(
+        [
+            "eval",
+            "--document",
+            str(workspace / "hotels.xml"),
+            "--services",
+            str(workspace / "services.xml"),
+            "--query",
+            QUERY,
+            "--tolerant",
+            "--fault-rate",
+            "1.0",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "frozen=" in out  # faults surfaced in the summary, not a traceback
+
+
+def test_eval_legacy_skip_faults_flag_still_works(workspace, capsys):
+    code = main(
+        [
+            "eval",
+            "--document",
+            str(workspace / "hotels.xml"),
+            "--services",
+            str(workspace / "services.xml"),
+            "--query",
+            QUERY,
+            "--skip-faults",
+            "--fault-rate",
+            "1.0",
+            "--breaker-threshold",
+            "0",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "skipped=" in out

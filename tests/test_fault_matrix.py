@@ -1,0 +1,147 @@
+"""Fault-policy × strategy matrix: every combination behaves.
+
+All five ``Strategy`` values crossed with RAISE/SKIP/FREEZE/RETRY, over
+a document whose calls fail transiently (``FailingService``) or
+randomly (``FlakyService``).  The headline invariant: under RETRY the
+answer equals the fault-free run for every strategy.
+"""
+
+import pytest
+
+from repro.axml.builder import C, E, V, build_document
+from repro.lazy.config import EngineConfig, FaultPolicy, Strategy
+from repro.lazy.engine import LazyQueryEvaluator
+from repro.pattern.parse import parse_pattern
+from repro.services.catalog import (
+    FailingService,
+    FlakyService,
+    ServiceFault,
+    StaticService,
+)
+from repro.services.registry import ServiceBus, ServiceRegistry
+from repro.services.resilience import RetryPolicy
+
+ALL_STRATEGIES = list(Strategy)
+TOLERANT_POLICIES = [FaultPolicy.SKIP, FaultPolicy.FREEZE, FaultPolicy.RETRY]
+
+QUERY = parse_pattern("/r/x/$V")
+
+
+def make_document():
+    return build_document(E("r", C("f"), C("g"), E("x", V("0"))))
+
+
+def transient_registry():
+    """``f`` fails twice then recovers; ``g`` always works."""
+    return ServiceRegistry(
+        [
+            FailingService(
+                "f", StaticService("inner", [E("x", V("1"))]), failures=2
+            ),
+            StaticService("g", [E("x", V("2"))]),
+        ]
+    )
+
+
+def flaky_registry(rate, seed=11):
+    return ServiceRegistry(
+        [
+            FlakyService(
+                StaticService("f", [E("x", V("1"))]), fault_rate=rate, seed=seed
+            ),
+            FlakyService(
+                StaticService("g", [E("x", V("2"))]),
+                fault_rate=rate,
+                seed=seed + 1,
+            ),
+        ]
+    )
+
+
+def fault_free_registry():
+    return ServiceRegistry(
+        [
+            StaticService("f", [E("x", V("1"))]),
+            StaticService("g", [E("x", V("2"))]),
+        ]
+    )
+
+
+def evaluate(registry, strategy, policy, **kwargs):
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=4, base_backoff_s=0.01))
+    config = EngineConfig(strategy=strategy, fault_policy=policy, **kwargs)
+    engine = LazyQueryEvaluator(ServiceBus(registry), config=config)
+    return engine.evaluate(QUERY, make_document())
+
+
+@pytest.fixture(scope="module")
+def fault_free_rows():
+    rows = {}
+    for strategy in ALL_STRATEGIES:
+        out = evaluate(fault_free_registry(), strategy, FaultPolicy.RAISE)
+        rows[strategy] = out.value_rows()
+    # The core invariant first: every strategy agrees fault-free.
+    assert len(set(map(frozenset, rows.values()))) == 1
+    return rows
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.value)
+def test_raise_propagates_transient_faults(strategy):
+    with pytest.raises(ServiceFault):
+        evaluate(transient_registry(), strategy, FaultPolicy.RAISE)
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.value)
+@pytest.mark.parametrize("policy", TOLERANT_POLICIES, ids=lambda p: p.value)
+def test_tolerant_policies_never_raise_on_transient_faults(strategy, policy):
+    out = evaluate(transient_registry(), strategy, policy)
+    # The extensional row and g's row survive under every policy.
+    assert ("0",) in out.value_rows()
+    assert ("2",) in out.value_rows()
+    if policy is FaultPolicy.RETRY:
+        assert ("1",) in out.value_rows()
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.value)
+def test_retry_matches_fault_free_answer(strategy, fault_free_rows):
+    out = evaluate(transient_registry(), strategy, FaultPolicy.RETRY)
+    assert out.value_rows() == fault_free_rows[strategy]
+    assert out.metrics.faults == 2
+    assert out.metrics.retries == 2
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.value)
+def test_retry_matches_fault_free_answer_under_flaky_services(
+    strategy, fault_free_rows
+):
+    out = evaluate(flaky_registry(rate=0.5), strategy, FaultPolicy.RETRY)
+    assert out.value_rows() == fault_free_rows[strategy]
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.value)
+def test_freeze_keeps_faulted_calls_intensional(strategy):
+    out = evaluate(
+        transient_registry(),
+        strategy,
+        FaultPolicy.FREEZE,
+        retry=RetryPolicy(max_attempts=1),
+    )
+    m = out.metrics
+    assert m.calls_frozen >= 1
+    assert m.calls_skipped == 0
+    # Frozen calls are still in the document, intensional.
+    frozen = [
+        c for c in out.document.function_nodes() if c.label == "f"
+    ]
+    assert frozen
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.value)
+def test_fault_free_runs_are_untouched_by_the_new_default(strategy):
+    """FREEZE (or any tolerant policy) never changes a fault-free run."""
+    baseline = evaluate(fault_free_registry(), strategy, FaultPolicy.RAISE)
+    tolerant = evaluate(fault_free_registry(), strategy, FaultPolicy.FREEZE)
+    assert tolerant.value_rows() == baseline.value_rows()
+    assert tolerant.metrics.calls_invoked == baseline.metrics.calls_invoked
+    assert tolerant.metrics.faults == 0
+    assert tolerant.metrics.calls_frozen == 0
