@@ -14,10 +14,28 @@ from __future__ import annotations
 from repro.lazy.config import EngineConfig
 from repro.lazy.engine import LazyQueryEvaluator
 
+# Profile mode (see conftest.py): when a sink is installed here, every
+# evaluate_workload() call is traced into it and the conftest prints an
+# aggregate per-phase breakdown at session end.
+_trace_state = {"sink": None, "collector": None}
+
+
+def enable_trace(sink, collector):
+    """Route every ``evaluate_workload()`` through *sink* (profile mode)."""
+    _trace_state["sink"] = sink
+    _trace_state["collector"] = collector
+
+
+def trace_collector():
+    """The shared in-memory collector, or None when profiling is off."""
+    return _trace_state["collector"]
+
 
 def evaluate_workload(workload, query=None, network=None, **config_kwargs):
     """One full evaluation over a fresh document; returns (outcome, bus)."""
     bus = workload.make_bus(network=network)
+    if _trace_state["sink"] is not None:
+        config_kwargs.setdefault("trace", _trace_state["sink"])
     engine = LazyQueryEvaluator(
         bus, schema=workload.schema, config=EngineConfig(**config_kwargs)
     )

@@ -1,0 +1,63 @@
+"""Profile mode for the benchmark suite.
+
+``pytest benchmarks/ --trace-profile`` routes every
+``evaluate_workload()`` call through a shared in-memory trace sink and
+prints an aggregate per-phase breakdown at the end of the session;
+``--trace-out FILE`` additionally streams the raw spans as JSONL (and
+implies ``--trace-profile``).  The flag is spelled ``--trace-profile``
+because pytest reserves ``--trace`` for its debugger.
+
+When profiling was requested but no spans were collected, the session
+exits nonzero — so tracing cannot silently rot out of the engine.
+"""
+
+import bench_harness
+
+from repro.obs.profile import format_phase_profile, phase_profile
+from repro.obs.trace import InMemorySink, JsonlSink, TeeSink
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("trace-profile", "evaluation tracing")
+    group.addoption(
+        "--trace-profile",
+        action="store_true",
+        default=False,
+        help="trace every evaluation and print a per-phase breakdown",
+    )
+    group.addoption(
+        "--trace-out",
+        default=None,
+        help="write raw spans as JSONL to this path (implies --trace-profile)",
+    )
+
+
+def pytest_configure(config):
+    out = config.getoption("--trace-out")
+    if not (config.getoption("--trace-profile") or out):
+        return
+    collector = InMemorySink()
+    sink = collector
+    jsonl = None
+    if out:
+        jsonl = JsonlSink(out)
+        sink = TeeSink(collector, jsonl)
+    config._trace_profile = (collector, jsonl, out)
+    bench_harness.enable_trace(sink, collector)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    state = getattr(session.config, "_trace_profile", None)
+    if state is None:
+        return
+    collector, jsonl, out = state
+    if jsonl is not None:
+        jsonl.close()
+    profile = phase_profile(collector.roots)
+    print()
+    print(format_phase_profile(profile, title="benchmark phase profile"))
+    if out:
+        print(f"(raw spans written to {out})")
+    if not profile:
+        print("ERROR: --trace-profile was on but no spans were collected")
+        session.exitstatus = 1

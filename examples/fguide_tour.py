@@ -9,7 +9,7 @@ and a step-by-step relevant rewriting.
 Run:  python examples/fguide_tour.py
 """
 
-from repro import FGuide, ServiceBus
+from repro import FGuide, InvocationPolicy, ServiceBus, ServiceCall
 from repro.lazy.influence import InfluenceAnalyzer
 from repro.lazy.layers import compute_layers
 from repro.lazy.relevance import build_nfqs, linear_path_queries
@@ -64,7 +64,15 @@ def main() -> None:
         if not relevant:
             break
         call = relevant[min(relevant)]
-        reply, record = bus.invoke(call.label, call.children, call.node_id)
+        outcome = bus.invoke(
+            ServiceCall(
+                service=call.label,
+                parameters=call.children,
+                call_node_id=call.node_id,
+            ),
+            policy=InvocationPolicy.single_attempt(),
+        )
+        reply, record = outcome.reply, outcome.record
         document.replace_call(call, reply.forest)
         print(
             f"   step {step}: invoked {call.label} "

@@ -14,13 +14,15 @@ lazy evaluator invokes a fraction of the calls.
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro import (
     EngineConfig,
-    LazyQueryEvaluator,
+    InMemorySink,
     ServiceBus,
     Strategy,
     compare_strategies,
     format_comparison,
+    format_trace_profile,
 )
 from repro.workloads import (
     figure_1_document,
@@ -30,15 +32,19 @@ from repro.workloads import (
 )
 
 
-def evaluate(strategy: Strategy):
-    document = figure_1_document()
+def evaluate(strategy: Strategy, trace=None):
+    # The one-shot facade: query + document + services in, outcome out.
+    # (A pre-built bus is passed so we can inspect its invocation log;
+    # a plain list of services or a registry works just as well.)
     bus = ServiceBus(figure_1_registry())
-    engine = LazyQueryEvaluator(
-        bus,
+    outcome = repro.evaluate(
+        paper_query(),
+        figure_1_document(),
+        services=bus,
+        strategy=strategy,
         schema=figure_1_schema(),
-        config=EngineConfig(strategy=strategy),
+        trace=trace,
     )
-    outcome = engine.evaluate(paper_query(), document)
     return outcome, bus
 
 
@@ -82,6 +88,13 @@ def main() -> None:
     )
     print()
     print(format_comparison(rows, title="all strategies, side by side"))
+
+    # Where did the time go?  Attach a trace sink and print the
+    # per-phase breakdown (wall clock and simulated service clock).
+    sink = InMemorySink()
+    evaluate(Strategy.LAZY_NFQ, trace=sink)
+    print()
+    print(format_trace_profile(sink, title="lazy-nfq phase profile"))
 
 
 if __name__ == "__main__":

@@ -3,19 +3,23 @@
 A from-scratch reproduction of Abiteboul, Benjelloun, Cautis, Manolescu,
 Milo & Preda, *"Lazy Query Evaluation for Active XML"*, SIGMOD 2004.
 
-Quickstart::
+Quickstart — the one-shot facade builds the registry, bus and engine
+for you::
 
-    from repro import (
-        E, V, C, build_document, parse_pattern, parse_schema,
-        ServiceRegistry, ServiceBus, TableService,
-        LazyQueryEvaluator, EngineConfig, Strategy,
+    import repro
+    from repro import E, V, C, TableService
+
+    outcome = repro.evaluate(
+        "/hotels/hotel[...]",
+        document,
+        services=[TableService("getNearbyRestos", {...})],
     )
-
-    registry = ServiceRegistry([...])
-    bus = ServiceBus(registry)
-    engine = LazyQueryEvaluator(bus, config=EngineConfig(Strategy.LAZY_NFQ))
-    outcome = engine.evaluate(parse_pattern("/hotels/hotel[...]"), document)
     print(outcome.value_rows(), outcome.metrics.summary())
+
+Power users construct :class:`LazyQueryEvaluator` over an explicit
+:class:`ServiceBus` (e.g. to share breaker state across evaluations),
+and attach a :class:`repro.obs.TraceSink` via
+``EngineConfig(trace=...)`` to see where each round's time went.
 
 See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
 reproduced evaluation.
@@ -34,11 +38,13 @@ from .axml import (
     parse_document,
     serialize_document,
 )
+from .facade import evaluate
 from .lazy import (
     BindingsOverlay,
     ContinuousQuery,
     compare_strategies,
     format_comparison,
+    format_trace_profile,
     EngineConfig,
     EvaluationOutcome,
     FGuide,
@@ -51,6 +57,20 @@ from .lazy import (
     build_nfqs,
     compute_layers,
     linear_path_queries,
+)
+from .obs import (
+    InMemorySink,
+    JsonlSink,
+    NullTracer,
+    Span,
+    SpanEvent,
+    TeeSink,
+    TraceSink,
+    Tracer,
+    format_phase_profile,
+    load_jsonl_spans,
+    phase_profile,
+    verify_nesting,
 )
 from .pattern import (
     EdgeKind,
@@ -76,12 +96,14 @@ from .services import (
     CircuitBreakerPolicy,
     CircuitOpenFault,
     FlakyService,
+    InvocationPolicy,
     NetworkModel,
     PushMode,
     RetryPolicy,
     SequenceService,
     Service,
     ServiceBus,
+    ServiceCall,
     ServiceFault,
     ServiceRegistry,
     SlowService,
@@ -112,6 +134,9 @@ __all__ = [
     "FaultPolicy",
     "FlakyService",
     "FunctionSignature",
+    "InMemorySink",
+    "InvocationPolicy",
+    "JsonlSink",
     "LazyQueryEvaluator",
     "LenientSatisfiability",
     "MatchOptions",
@@ -122,20 +147,27 @@ __all__ = [
     "NetworkModel",
     "Node",
     "NodeKind",
+    "NullTracer",
     "PushMode",
     "RetryPolicy",
     "Schema",
     "SequenceService",
     "Service",
     "ServiceBus",
+    "ServiceCall",
     "ServiceFault",
     "ServiceRegistry",
     "SlowService",
+    "Span",
+    "SpanEvent",
     "StaticService",
     "Strategy",
     "TableService",
+    "TeeSink",
     "TerminationReport",
     "TimeoutFault",
+    "TraceSink",
+    "Tracer",
     "TreePattern",
     "TypingMode",
     "V",
@@ -144,14 +176,20 @@ __all__ = [
     "build_nfqs",
     "compare_strategies",
     "compute_layers",
+    "evaluate",
     "format_comparison",
+    "format_phase_profile",
+    "format_trace_profile",
     "guaranteed_terminating",
     "linear_path_queries",
+    "load_jsonl_spans",
     "make_signature",
     "parse_document",
     "parse_pattern",
     "parse_schema",
+    "phase_profile",
     "serialize_document",
     "snapshot_result",
+    "verify_nesting",
     "__version__",
 ]

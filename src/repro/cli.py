@@ -43,7 +43,12 @@ from .lazy.engine import LazyQueryEvaluator
 from .lazy.influence import InfluenceAnalyzer
 from .lazy.layers import compute_layers
 from .lazy.relevance import build_nfqs, linear_path_queries
-from .lazy.report import compare_strategies, format_comparison
+from .lazy.report import (
+    compare_strategies,
+    format_comparison,
+    format_trace_profile,
+)
+from .obs.trace import InMemorySink, JsonlSink, TeeSink
 from .pattern.parse import parse_pattern
 from .schema.schema import Schema, parse_schema
 from .schema.termination import analyze_termination
@@ -119,7 +124,7 @@ def _fault_policy_of(args: argparse.Namespace) -> FaultPolicy:
     return FaultPolicy.RAISE
 
 
-def _build_config(args: argparse.Namespace) -> EngineConfig:
+def _build_config(args: argparse.Namespace, trace=None) -> EngineConfig:
     retry = RetryPolicy(
         max_attempts=args.max_attempts,
         base_backoff_s=args.backoff,
@@ -144,6 +149,7 @@ def _build_config(args: argparse.Namespace) -> EngineConfig:
         retry=retry,
         breaker=breaker,
         max_invocations=args.max_calls,
+        trace=trace,
     )
 
 
@@ -172,12 +178,31 @@ def cmd_eval(args: argparse.Namespace) -> int:
     )
     registry = _maybe_inject_faults(registry, args)
     query = parse_pattern(args.query)
+    collector = None
+    jsonl = None
+    trace = None
+    if args.trace or args.trace_out:
+        collector = InMemorySink()
+        trace = collector
+        if args.trace_out:
+            jsonl = JsonlSink(args.trace_out)
+            trace = TeeSink(collector, jsonl)
     engine = LazyQueryEvaluator(
-        ServiceBus(registry), schema=schema, config=_build_config(args)
+        ServiceBus(registry),
+        schema=schema,
+        config=_build_config(args, trace=trace),
     )
-    outcome = engine.evaluate(query, document)
+    try:
+        outcome = engine.evaluate(query, document)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
     print(outcome.metrics.summary())
     print(outcome.to_xml())
+    if collector is not None:
+        print(format_trace_profile(collector))
+    if jsonl is not None:
+        print(f"(trace written to {args.trace_out})")
     if args.save_document:
         with open(args.save_document, "w", encoding="utf-8") as handle:
             handle.write(serialize_document(document))
@@ -339,6 +364,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for --fault-rate injection",
     )
     ev.add_argument("--max-calls", type=int, default=100_000)
+    ev.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect an evaluation trace and print the per-phase breakdown",
+    )
+    ev.add_argument(
+        "--trace-out",
+        help="write the evaluation's span tree as JSONL (implies --trace)",
+    )
     ev.add_argument("--save-document", help="write the rewritten document")
     ev.set_defaults(handler=cmd_eval)
 

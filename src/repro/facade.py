@@ -1,0 +1,102 @@
+"""One-shot evaluation facade: the friendly front door of the system.
+
+Most uses of the reproduction are "run this query over this document
+against these services".  :func:`evaluate` does exactly that in one
+call — it accepts queries as strings or :class:`TreePattern` s,
+documents as XML text, root :class:`~repro.axml.node.Node` s or
+:class:`~repro.axml.document.Document` s, and services as a list, a
+:class:`~repro.services.registry.ServiceRegistry` or a fully-built
+:class:`~repro.services.registry.ServiceBus` — and wires up the
+registry, bus and engine internally.  Power users keep constructing
+:class:`~repro.lazy.engine.LazyQueryEvaluator` directly (e.g. to reuse
+one bus, and its breaker state, across evaluations).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Union
+
+from .axml.builder import build_document
+from .axml.document import Document
+from .axml.node import Node
+from .axml.xmlio import parse_document
+from .lazy.config import EngineConfig, Strategy
+from .lazy.engine import EvaluationOutcome, LazyQueryEvaluator
+from .obs.trace import NullTracer, TraceSink, Tracer
+from .pattern.match import MatchOptions
+from .pattern.parse import parse_pattern
+from .pattern.pattern import TreePattern
+from .schema.schema import Schema
+from .services.registry import ServiceBus, ServiceRegistry
+from .services.service import Service
+
+ServicesLike = Union[ServiceBus, ServiceRegistry, Iterable[Service]]
+
+
+def evaluate(
+    query: Union[TreePattern, str],
+    document: Union[Document, Node, str],
+    *,
+    services: ServicesLike,
+    strategy: Strategy = Strategy.LAZY_NFQ,
+    config: Optional[EngineConfig] = None,
+    schema: Optional[Schema] = None,
+    match_options: Optional[MatchOptions] = None,
+    trace: Union[TraceSink, Tracer, NullTracer, None] = None,
+) -> EvaluationOutcome:
+    """Evaluate ``query`` over ``document`` lazily, in one call.
+
+    Args:
+        query: a tree pattern, or its XPath-like string form.
+        document: a :class:`Document`, a root :class:`Node`, or AXML
+            text (parsed).  Mutated in place, like
+            :meth:`LazyQueryEvaluator.evaluate`.
+        services: the Web — a list of :class:`Service` s, a
+            :class:`ServiceRegistry`, or an existing :class:`ServiceBus`
+            (reused, preserving its log and breaker state).
+        strategy: shorthand for ``EngineConfig(strategy=...)``; only
+            meaningful when ``config`` is not given.
+        config: a full :class:`EngineConfig`; overrides ``strategy``
+            (passing both, with conflicting strategies, raises).
+        schema: element content models for the typed modes.
+        match_options: embedding semantics knobs.
+        trace: a :class:`repro.obs.TraceSink` (or tracer) receiving the
+            evaluation's span tree; shorthand for ``config.trace``.
+
+    Returns:
+        The :class:`EvaluationOutcome` — rows, metrics, rounds.
+    """
+    if not isinstance(strategy, Strategy):
+        strategy = Strategy(strategy)
+    if isinstance(query, str):
+        query = parse_pattern(query)
+    if isinstance(document, str):
+        document = parse_document(document)
+    elif isinstance(document, Node):
+        document = build_document(document)
+    if config is None:
+        config = EngineConfig(strategy=strategy)
+    elif strategy is not Strategy.LAZY_NFQ and config.strategy is not strategy:
+        raise ValueError(
+            f"conflicting strategies: strategy={strategy.value!r} but "
+            f"config.strategy={config.strategy.value!r} — pass one or "
+            f"the other"
+        )
+    if trace is not None:
+        config = dataclasses.replace(config, trace=trace)
+    engine = LazyQueryEvaluator(
+        _bus_of(services),
+        schema=schema,
+        config=config,
+        match_options=match_options,
+    )
+    return engine.evaluate(query, document)
+
+
+def _bus_of(services: ServicesLike) -> ServiceBus:
+    if isinstance(services, ServiceBus):
+        return services
+    if isinstance(services, ServiceRegistry):
+        return ServiceBus(services)
+    return ServiceBus(ServiceRegistry(services))

@@ -8,7 +8,12 @@ from .influence import InfluenceAnalyzer
 from .layers import Layer, compute_layers
 from .metrics import Metrics, RoundRecord
 from .pushing import BindingsOverlay, PushedSubquery, pushed_subquery_for
-from .report import ComparisonRow, compare_strategies, format_comparison
+from .report import (
+    ComparisonRow,
+    compare_strategies,
+    format_comparison,
+    format_trace_profile,
+)
 from .relevance import (
     NFQBuilder,
     RelevanceKind,
@@ -40,6 +45,7 @@ __all__ = [
     "compare_strategies",
     "compute_layers",
     "format_comparison",
+    "format_trace_profile",
     "linear_path_queries",
     "pushed_subquery_for",
 ]

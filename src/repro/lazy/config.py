@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional
+from typing import Optional, Union
 
+from ..obs.trace import NullTracer, TraceSink, Tracer
 from ..services.resilience import CircuitBreakerPolicy, RetryPolicy
 from ..services.service import PushMode
 
@@ -72,12 +73,16 @@ class FaultPolicy(enum.Enum):
         return cls.FREEZE
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(kw_only=True)
 class EngineConfig:
     """Tunables of :class:`repro.lazy.engine.LazyQueryEvaluator`.
 
     Defaults reproduce the paper's full system: layered NFQA with
     parallel rounds, no F-guide (opt in), no pushing (opt in).
+
+    All fields are keyword-only and validated on construction — a bad
+    value fails immediately with the offending field named, instead of
+    surfacing deep inside the engine.
     """
 
     strategy: Strategy = Strategy.LAZY_NFQ
@@ -113,18 +118,84 @@ class EngineConfig:
     """
     max_invocations: int = 100_000
     max_rounds: int = 100_000
+    trace: Union[TraceSink, Tracer, NullTracer, None] = None
+    """Where evaluation spans go: a :class:`repro.obs.TraceSink` (the
+    engine wraps a tracer around it, binding the simulated clock to the
+    bus), an existing :class:`repro.obs.Tracer`, or ``None`` (tracing
+    off, the default — near-zero overhead)."""
+
+    _BOOL_FIELDS = (
+        "use_layers",
+        "parallel",
+        "speculative",
+        "use_fguide",
+        "dedupe_relevance_queries",
+        "drop_value_joins",
+        "validate_io",
+    )
 
     def __post_init__(self) -> None:
-        # A plain string ("retry") would compare unequal to the enum and
-        # silently fall back to freeze semantics; coerce or fail loudly.
-        if not isinstance(self.fault_policy, FaultPolicy):
-            self.fault_policy = FaultPolicy(self.fault_policy)
+        # Enum-valued fields accept the enum's string value ("retry",
+        # "lazy-nfq"...): a plain string would compare unequal to the
+        # enum and silently change semantics; coerce or fail loudly,
+        # naming the field.
+        self.strategy = self._coerce_enum("strategy", Strategy, self.strategy)
+        self.typing = self._coerce_enum("typing", TypingMode, self.typing)
+        self.push_mode = self._coerce_enum("push_mode", PushMode, self.push_mode)
+        self.fault_policy = self._coerce_enum(
+            "fault_policy", FaultPolicy, self.fault_policy
+        )
+        for name in self._BOOL_FIELDS:
+            if not isinstance(getattr(self, name), bool):
+                raise TypeError(
+                    f"EngineConfig.{name} must be a bool, "
+                    f"got {getattr(self, name)!r}"
+                )
+        for name in ("max_invocations", "max_rounds"):
+            bound = getattr(self, name)
+            if not isinstance(bound, int) or isinstance(bound, bool) or bound < 1:
+                raise ValueError(
+                    f"EngineConfig.{name} must be a positive integer, "
+                    f"got {bound!r}"
+                )
+        if not isinstance(self.retry, RetryPolicy):
+            raise TypeError(
+                f"EngineConfig.retry must be a RetryPolicy, got {self.retry!r}"
+            )
+        if self.breaker is not None and not isinstance(
+            self.breaker, CircuitBreakerPolicy
+        ):
+            raise TypeError(
+                f"EngineConfig.breaker must be a CircuitBreakerPolicy "
+                f"or None, got {self.breaker!r}"
+            )
+        if self.trace is not None and not (
+            isinstance(self.trace, (Tracer, NullTracer))
+            or hasattr(self.trace, "on_span_end")
+        ):
+            raise TypeError(
+                f"EngineConfig.trace must be a TraceSink, a Tracer or "
+                f"None, got {self.trace!r}"
+            )
         if self.strategy is Strategy.LAZY_NFQ_TYPED and self.typing is TypingMode.NONE:
             self.typing = TypingMode.LENIENT
         if self.strategy in (Strategy.NAIVE, Strategy.TOP_DOWN):
             self.use_layers = False
         if self.strategy is Strategy.TOP_DOWN:
             self.parallel = False
+
+    @staticmethod
+    def _coerce_enum(name, enum_type, value):
+        if isinstance(value, enum_type):
+            return value
+        try:
+            return enum_type(value)
+        except ValueError:
+            choices = ", ".join(repr(member.value) for member in enum_type)
+            raise ValueError(
+                f"EngineConfig.{name} must be a {enum_type.__name__} "
+                f"(or one of {choices}), got {value!r}"
+            ) from None
 
     @classmethod
     def tolerant(cls, **kwargs) -> "EngineConfig":

@@ -27,6 +27,18 @@ from typing import Optional
 from ..axml.document import Document
 from ..axml.node import Activation, Node
 from ..axml.paths import call_position
+from ..obs.trace import (
+    EVALUATE,
+    FINAL_MATCH,
+    INVOCATION,
+    LAYER,
+    PUSH,
+    RELEVANCE_CHECK,
+    ROUND,
+    SATISFIABILITY,
+    AnyTracer,
+    tracer_for,
+)
 from ..schema import automata
 from ..pattern.match import Matcher, MatchCounter, MatchOptions, MatchSet
 from ..pattern.nodes import EdgeKind, PatternNode
@@ -34,7 +46,8 @@ from ..pattern.pattern import TreePattern
 from ..schema.graphschema import LenientSatisfiability
 from ..schema.satisfiability import ExactSatisfiability, SatisfiabilityOracle
 from ..schema.schema import Schema, SchemaError
-from ..services.registry import ServiceBus
+from ..services.registry import ServiceBus, ServiceCall
+from ..services.resilience import InvocationPolicy
 from ..services.service import PushMode
 from .config import EngineConfig, FaultPolicy, Strategy, TypingMode
 from .fguide import FGuide
@@ -129,14 +142,23 @@ class LazyQueryEvaluator:
         The document is mutated in place (calls are invoked and replaced
         by their results); copy it first if you need the original.
         """
-        state = _EvaluationState(self, query, document)
+        tracer = tracer_for(
+            self.config.trace, sim_clock=lambda: self.bus.clock_s
+        )
+        state = _EvaluationState(self, query, document, tracer)
         started = time.perf_counter()
         try:
-            if self.config.strategy is Strategy.NAIVE:
-                state.run_naive()
-            else:
-                state.run_lazy()
-            rows = state.final_evaluation()
+            with tracer.span(
+                EVALUATE,
+                strategy=self.config.label,
+                query=query.to_string(),
+            ):
+                if self.config.strategy is Strategy.NAIVE:
+                    state.run_naive()
+                else:
+                    state.run_lazy()
+                with tracer.span(FINAL_MATCH):
+                    rows = state.final_evaluation()
         finally:
             state.teardown()
         state.metrics.analysis_wall_s = time.perf_counter() - started
@@ -159,12 +181,14 @@ class _EvaluationState:
         evaluator: LazyQueryEvaluator,
         query: TreePattern,
         document: Document,
+        tracer: AnyTracer,
     ) -> None:
         self.evaluator = evaluator
         self.config = evaluator.config
         self.bus = evaluator.bus
         self.query = query
         self.document = document
+        self.tracer = tracer
 
         self.metrics = Metrics(strategy=self.config.label)
         self.rounds: list[RoundRecord] = []
@@ -219,12 +243,18 @@ class _EvaluationState:
             invoke,
             self.config.max_invocations,
             on_round,
+            tracer=self.tracer,
         )
         self.metrics.completed = completed
 
     def run_lazy(self) -> None:
         self._fire_immediate_calls()
-        queries = self._build_relevance_queries()
+        with self.tracer.span(
+            SATISFIABILITY, typing=self.config.typing.value, reason="build"
+        ) as span:
+            queries = self._build_relevance_queries()
+            if span is not None:
+                span.tags["queries"] = len(queries)
         self.metrics.relevance_queries_built = len(queries)
         self._queries_by_target = {q.target_uid: q for q in queries}
 
@@ -259,9 +289,12 @@ class _EvaluationState:
             if not self._budget_left():
                 self.metrics.completed = False
                 break
-            self._process_layer(layer)
+            with self.tracer.span(
+                LAYER, index=layer.index, queries=len(layer.queries)
+            ):
+                self._process_layer(layer)
             self._completed_targets |= self._absorbed_targets(layer)
-            self._rebuild_queries()
+            self._rebuild_queries(reason="layer_done")
 
     def _fire_immediate_calls(self) -> None:
         """Invoke every IMMEDIATE-activation call (Section 1's eager
@@ -275,15 +308,16 @@ class _EvaluationState:
             if not eager:
                 return
             times = []
-            for call in eager:
-                if not self._budget_left():
-                    self.metrics.completed = False
-                    break
-                if not self.document.contains(call):
-                    continue
-                elapsed = self._invoke_call(call, frozenset())
-                if elapsed is not None:
-                    times.append(elapsed)
+            with self.tracer.span(ROUND, phase="immediate"):
+                for call in eager:
+                    if not self._budget_left():
+                        self.metrics.completed = False
+                        break
+                    if not self.document.contains(call):
+                        continue
+                    elapsed = self._invoke_call(call, frozenset())
+                    if elapsed is not None:
+                        times.append(elapsed)
             self._account_round(times, layer_index=None, parallel=True)
 
     # -- relevance-query management ---------------------------------------------------
@@ -315,15 +349,18 @@ class _EvaluationState:
             return ExactSatisfiability(self._schema)
         return LenientSatisfiability(self._schema)
 
-    def _rebuild_queries(self) -> None:
+    def _rebuild_queries(self, reason: str = "rebuild") -> None:
         """Regenerate remaining NFQs after a layer completed (Section 4.3
         simplification) or after new service names appeared (Section 5)."""
         if self._builder is None:
             return  # LPQs depend only on the query: nothing to simplify
-        rebuilt = self._builder.build_all(
-            excluded_targets=self._completed_targets,
-            dedupe=self.config.dedupe_relevance_queries,
-        )
+        with self.tracer.span(
+            SATISFIABILITY, typing=self.config.typing.value, reason=reason
+        ):
+            rebuilt = self._builder.build_all(
+                excluded_targets=self._completed_targets,
+                dedupe=self.config.dedupe_relevance_queries,
+            )
         self._queries_by_target = {q.target_uid: q for q in rebuilt}
 
     def _absorbed_targets(self, layer: Layer) -> set[int]:
@@ -348,52 +385,64 @@ class _EvaluationState:
     def _process_layer(self, layer: Layer) -> None:
         config = self.config
         while self._budget_left():
-            relevant = self._collect_relevant(layer)
-            if not relevant:
+            with self.tracer.span(ROUND, layer=layer.index):
+                done = self._process_round(layer)
+            if done:
                 return
-            batch: list[tuple[Node, frozenset[int]]] = []
-            if config.parallel and config.speculative:
-                # "Just in case" parallelism (Section 4.4's remark): fire
-                # everything relevant right now, accepting that some may
-                # turn out irrelevant once siblings respond.
-                batch = [
-                    (call, targets)
-                    for _, (call, targets, _) in sorted(relevant.items())
-                ]
-            elif config.parallel:
-                # Condition (*) is per-NFQ: all calls retrieved only by
-                # independent queries of the layer can fire in parallel.
-                batch = [
-                    (call, targets)
-                    for node_id, (call, targets, retrievers) in sorted(
-                        relevant.items()
-                    )
-                    if all(layer.independent.get(uid, False) for uid in retrievers)
-                ]
-            if not batch:
-                first_id = min(relevant)
-                call, targets, _ = relevant[first_id]
-                batch = [(call, targets)]
-            times: list[float] = []
-            new_names: set[str] = set()
-            for call, target_uids in batch:
-                if not self._budget_left():
-                    self.metrics.completed = False
-                    break
-                if not self.document.contains(call):
-                    continue
-                names_before = set(self._builder.function_names) if self._builder else set()
-                elapsed = self._invoke_call(call, target_uids)
-                if elapsed is not None:
-                    times.append(elapsed)
-                if self._builder is not None:
-                    new_names |= set(self._builder.function_names) - names_before
-            self._account_round(
-                times, layer_index=layer.index, parallel=len(batch) > 1
-            )
-            if new_names:
-                self._rebuild_queries()
         self.metrics.completed = False
+
+    def _process_round(self, layer: Layer) -> bool:
+        """One NFQA iteration; returns True when the layer went quiet."""
+        config = self.config
+        with self.tracer.span(RELEVANCE_CHECK, layer=layer.index) as span:
+            relevant = self._collect_relevant(layer)
+            if span is not None:
+                span.tags["relevant_calls"] = len(relevant)
+        if not relevant:
+            return True
+        batch: list[tuple[Node, frozenset[int]]] = []
+        if config.parallel and config.speculative:
+            # "Just in case" parallelism (Section 4.4's remark): fire
+            # everything relevant right now, accepting that some may
+            # turn out irrelevant once siblings respond.
+            batch = [
+                (call, targets)
+                for _, (call, targets, _) in sorted(relevant.items())
+            ]
+        elif config.parallel:
+            # Condition (*) is per-NFQ: all calls retrieved only by
+            # independent queries of the layer can fire in parallel.
+            batch = [
+                (call, targets)
+                for node_id, (call, targets, retrievers) in sorted(
+                    relevant.items()
+                )
+                if all(layer.independent.get(uid, False) for uid in retrievers)
+            ]
+        if not batch:
+            first_id = min(relevant)
+            call, targets, _ = relevant[first_id]
+            batch = [(call, targets)]
+        times: list[float] = []
+        new_names: set[str] = set()
+        for call, target_uids in batch:
+            if not self._budget_left():
+                self.metrics.completed = False
+                break
+            if not self.document.contains(call):
+                continue
+            names_before = set(self._builder.function_names) if self._builder else set()
+            elapsed = self._invoke_call(call, target_uids)
+            if elapsed is not None:
+                times.append(elapsed)
+            if self._builder is not None:
+                new_names |= set(self._builder.function_names) - names_before
+        self._account_round(
+            times, layer_index=layer.index, parallel=len(batch) > 1
+        )
+        if new_names:
+            self._rebuild_queries(reason="new_names")
+        return False
 
     def _collect_relevant(
         self, layer: Layer
@@ -466,15 +515,22 @@ class _EvaluationState:
     def _invoke_call(
         self, call: Node, target_uids: frozenset[int]
     ) -> Optional[float]:
+        with self.tracer.span(
+            INVOCATION, service=call.label, call_uid=call.node_id
+        ) as span:
+            result = self._invoke_call_inner(call, target_uids, span)
+        return result
+
+    def _invoke_call_inner(
+        self, call: Node, target_uids: frozenset[int], span
+    ) -> Optional[float]:
         pushed: Optional[PushedSubquery] = None
         push_mode = PushMode.NONE
-        if (
-            self.config.push_mode is not PushMode.NONE
-            and len(target_uids) == 1
-            and self._push_is_safe(call, next(iter(target_uids)))
-        ):
+        if self.config.push_mode is not PushMode.NONE and len(target_uids) == 1:
             (uid,) = target_uids
-            pushed = self._pushed_for(uid)
+            with self.tracer.span(PUSH, service=call.label):
+                if self._push_is_safe(call, uid):
+                    pushed = self._pushed_for(uid)
             if pushed is not None:
                 push_mode = self.config.push_mode
                 if push_mode is PushMode.BINDINGS and not pushed.bindable:
@@ -490,16 +546,22 @@ class _EvaluationState:
             if policy is FaultPolicy.RETRY
             else self.config.retry.single_attempt()
         )
-        outcome = self.bus.invoke_resilient(
-            call.label,
-            call.children,
-            call_node_id=call.node_id,
-            pushed=pushed.pattern if pushed and push_mode is not PushMode.NONE else None,
-            push_mode=push_mode,
-            anchor_edge=pushed.anchor_edge if pushed else EdgeKind.CHILD,
-            retry=retry,
-            breaker_policy=self.config.breaker,
+        outcome = self.bus.invoke(
+            ServiceCall(
+                service=call.label,
+                parameters=call.children,
+                call_node_id=call.node_id,
+                pushed=pushed.pattern
+                if pushed and push_mode is not PushMode.NONE
+                else None,
+                push_mode=push_mode,
+                anchor_edge=pushed.anchor_edge if pushed else EdgeKind.CHILD,
+            ),
+            policy=InvocationPolicy(retry=retry, breaker=self.config.breaker),
+            trace=self.tracer,
         )
+        if span is not None and outcome.fault is not None:
+            span.tags["fault_kind"] = type(outcome.fault).__name__
         metrics = self.metrics
         metrics.faults += outcome.faults
         metrics.retries += outcome.retries

@@ -24,6 +24,7 @@ from typing import Callable, Optional
 
 from ..axml.document import Document
 from ..axml.node import Activation, Node
+from ..obs.trace import NULL_TRACER, ROUND, AnyTracer
 
 InvokeFn = Callable[[Node], Optional[float]]
 """Invoke one call; returns its simulated time (None when skipped)."""
@@ -34,11 +35,13 @@ def naive_fixpoint(
     invoke: InvokeFn,
     max_invocations: int,
     on_round: Callable[[list[float]], None],
+    tracer: AnyTracer = NULL_TRACER,
 ) -> tuple[int, bool]:
     """Invoke every embedded call, recursively, until none remain.
 
     Calls of one sweep are treated as one (parallelisable) round;
-    ``on_round`` receives the simulated times of the round.  Returns
+    ``on_round`` receives the simulated times of the round.  Each sweep
+    becomes one ``round`` span on ``tracer``.  Returns
     ``(invocations, completed)`` — ``completed`` is False when the
     invocation budget ran out first (AXML documents may be infinite,
     Section 2).
@@ -53,15 +56,16 @@ def naive_fixpoint(
         if not calls:
             return invocations, True
         times: list[float] = []
-        for call in calls:
-            if invocations >= max_invocations:
-                if times:
-                    on_round(times)
-                return invocations, False
-            if not document.contains(call):
-                continue  # consumed as a parameter of an outer call
-            elapsed = invoke(call)
-            invocations += 1
-            if elapsed is not None:
-                times.append(elapsed)
+        with tracer.span(ROUND, phase="naive", calls=len(calls)):
+            for call in calls:
+                if invocations >= max_invocations:
+                    if times:
+                        on_round(times)
+                    return invocations, False
+                if not document.contains(call):
+                    continue  # consumed as a parameter of an outer call
+                elapsed = invoke(call)
+                invocations += 1
+                if elapsed is not None:
+                    times.append(elapsed)
         on_round(times)

@@ -8,9 +8,11 @@ render an aligned table of the metrics the paper reports on.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..axml.document import Document
+from ..obs.profile import format_phase_profile, phase_profile
+from ..obs.trace import InMemorySink, Span
 from ..pattern.pattern import TreePattern
 from ..schema.schema import Schema
 from ..services.registry import ServiceBus
@@ -87,6 +89,21 @@ def compare_strategies(
             )
         rows.append(ComparisonRow(label=config.label, outcome=outcome))
     return rows
+
+
+def format_trace_profile(
+    trace: Union[InMemorySink, Iterable[Span]],
+    title: str = "phase profile",
+) -> str:
+    """Per-phase breakdown of a trace, as an aligned plain-text table.
+
+    Accepts the :class:`~repro.obs.InMemorySink` an evaluation wrote to
+    (or its root spans directly) and renders exclusive wall/simulated
+    time per phase — where a round's time went: relevance analysis,
+    satisfiability, invocation, final match.
+    """
+    roots = trace.roots if isinstance(trace, InMemorySink) else list(trace)
+    return format_phase_profile(phase_profile(roots), title=title)
 
 
 def format_comparison(rows: Sequence[ComparisonRow], title: str = "") -> str:

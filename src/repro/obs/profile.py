@@ -1,0 +1,76 @@
+"""Per-phase aggregation of span trees: where did the time go?
+
+Turns the span tree of one (or many) evaluations into a table of
+*exclusive* per-phase costs — each span's own time minus the time of
+its children — so phases sum to the totals instead of double counting.
+This is the breakdown the benchmarks' profile mode and the CLI's
+``--trace`` flag print.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from .trace import Span
+
+
+@dataclasses.dataclass
+class PhaseStats:
+    """Accumulated cost of one phase name across a trace."""
+
+    name: str
+    count: int = 0
+    wall_s: float = 0.0
+    """Exclusive wall-clock seconds (children's time excluded)."""
+    sim_s: float = 0.0
+    """Exclusive simulated seconds (children's time excluded)."""
+    events: int = 0
+
+    def add(self, span: Span) -> None:
+        child_wall = sum(child.wall_s for child in span.children)
+        child_sim = sum(child.sim_s for child in span.children)
+        self.count += 1
+        self.wall_s += max(span.wall_s - child_wall, 0.0)
+        self.sim_s += max(span.sim_s - child_sim, 0.0)
+        self.events += len(span.events)
+
+
+def phase_profile(roots: Iterable[Span]) -> dict[str, PhaseStats]:
+    """Aggregate span trees into per-phase stats, keyed by span name."""
+    profile: dict[str, PhaseStats] = {}
+    for root in roots:
+        for span in root.iter_subtree():
+            stats = profile.get(span.name)
+            if stats is None:
+                stats = profile[span.name] = PhaseStats(name=span.name)
+            stats.add(span)
+    return profile
+
+
+def format_phase_profile(
+    profile: dict[str, PhaseStats], title: str = "phase profile"
+) -> str:
+    """Render a profile as an aligned plain-text table."""
+    headers = ("phase", "count", "wall_s", "sim_s", "events")
+    rows = [
+        (
+            stats.name,
+            str(stats.count),
+            f"{stats.wall_s:.4f}",
+            f"{stats.sim_s:.3f}",
+            str(stats.events),
+        )
+        for stats in sorted(
+            profile.values(), key=lambda s: s.wall_s + s.sim_s, reverse=True
+        )
+    ]
+    table = [headers] + rows
+    widths = [max(len(line[i]) for line in table) for i in range(len(headers))]
+    lines = [f"== {title} =="]
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

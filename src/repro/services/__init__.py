@@ -13,12 +13,13 @@ from .catalog import (
     first_value,
     make_signature,
 )
-from .registry import ServiceBus, ServiceRegistry, UnknownServiceError
+from .registry import ServiceBus, ServiceCall, ServiceRegistry, UnknownServiceError
 from .resilience import (
     BreakerState,
     CircuitBreaker,
     CircuitBreakerPolicy,
     CircuitOpenFault,
+    InvocationPolicy,
     ResilientOutcome,
     RetryPolicy,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "FailingService",
     "FlakyService",
     "InvocationLog",
+    "InvocationPolicy",
     "InvocationRecord",
     "NetworkModel",
     "PushMode",
@@ -51,6 +53,7 @@ __all__ = [
     "SequenceService",
     "Service",
     "ServiceBus",
+    "ServiceCall",
     "ServiceFault",
     "ServiceRegistry",
     "SlowService",

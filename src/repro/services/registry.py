@@ -4,14 +4,31 @@ The :class:`ServiceBus` plays the role of the Web — it resolves function
 names to services, ships parameters (and pushed subqueries) to them, and
 accounts for every byte and simulated second on an
 :class:`~repro.services.simulation.InvocationLog`.
+
+The one entry point is :meth:`ServiceBus.invoke`, taking a
+:class:`ServiceCall` descriptor plus a keyword-only
+:class:`~repro.services.resilience.InvocationPolicy` and an optional
+tracer; the pre-1.1 ``invoke(service_name, parameters, ...)`` and
+``invoke_resilient(...)`` spellings survive as thin deprecation shims.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+import dataclasses
+import warnings
+from typing import Iterable, Optional, Sequence, Union
 
 from ..axml.node import Node
 from ..axml.xmlio import forest_size_bytes, serialized_size
+from ..obs.trace import (
+    EVENT_ATTEMPT,
+    EVENT_BACKOFF,
+    EVENT_BREAKER_TRIP,
+    EVENT_FAULT,
+    EVENT_SHORT_CIRCUIT,
+    NULL_TRACER,
+    AnyTracer,
+)
 from ..pattern.nodes import EdgeKind
 from ..pattern.pattern import TreePattern
 from ..schema.schema import Schema
@@ -20,6 +37,7 @@ from .resilience import (
     CircuitBreaker,
     CircuitBreakerPolicy,
     CircuitOpenFault,
+    InvocationPolicy,
     ResilientOutcome,
     RetryPolicy,
 )
@@ -29,6 +47,23 @@ from .simulation import InvocationLog, InvocationRecord, NetworkModel
 
 class UnknownServiceError(KeyError):
     """Raised when a document references a service nobody registered."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceCall:
+    """Everything that describes one invocation request.
+
+    The first (and only positional) argument of
+    :meth:`ServiceBus.invoke`: the service name, the parameter forest,
+    and the optional pushed subquery riding along (Section 7).
+    """
+
+    service: str
+    parameters: Sequence[Node] = ()
+    call_node_id: Optional[int] = None
+    pushed: Optional[TreePattern] = None
+    push_mode: PushMode = PushMode.NONE
+    anchor_edge: EdgeKind = EdgeKind.CHILD
 
 
 class ServiceRegistry:
@@ -117,6 +152,148 @@ class ServiceBus:
 
     def invoke(
         self,
+        call: Union[ServiceCall, str],
+        *legacy_args,
+        policy: Optional[InvocationPolicy] = None,
+        trace: Optional[AnyTracer] = None,
+        **legacy_kwargs,
+    ) -> ResilientOutcome:
+        """Invoke one :class:`ServiceCall` under an invocation policy.
+
+        The single entry point of the bus: runs the breaker gate, the
+        attempt loop and the backoff waits prescribed by ``policy``
+        (default: three attempts, no breaker — pass
+        :meth:`InvocationPolicy.single_attempt` for exactly one try)
+        and never raises on service faults — the returned
+        :class:`~repro.services.resilience.ResilientOutcome` carries
+        either the reply or the last fault.  (Unknown services still
+        raise: that is a caller bug, not a remote fault.)  ``trace``
+        is an optional :class:`repro.obs.Tracer`: every attempt,
+        fault, backoff wait and breaker transition becomes a span
+        event on the caller's current span.
+
+        The pre-1.1 form ``invoke(service_name, parameters, ...)`` —
+        one attempt, (reply, record) on success, fault raised — is
+        deprecated but still honoured when the first argument is a
+        string.
+        """
+        if isinstance(call, str):
+            warnings.warn(
+                "ServiceBus.invoke(service_name, parameters, ...) is "
+                "deprecated; pass a ServiceCall and read the returned "
+                "ResilientOutcome instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self._attempt(call, *legacy_args, **legacy_kwargs)
+        if legacy_args or legacy_kwargs:
+            raise TypeError(
+                "ServiceBus.invoke(call) accepts only keyword arguments "
+                f"'policy' and 'trace'; got extra {legacy_args or legacy_kwargs!r}"
+            )
+        return self._invoke(call, policy=policy, trace=trace)
+
+    def invoke_resilient(
+        self,
+        service_name: str,
+        parameters: Sequence[Node],
+        call_node_id: Optional[int] = None,
+        pushed: Optional[TreePattern] = None,
+        push_mode: PushMode = PushMode.NONE,
+        anchor_edge: EdgeKind = EdgeKind.CHILD,
+        retry: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[CircuitBreakerPolicy] = None,
+    ) -> ResilientOutcome:
+        """Deprecated alias for :meth:`invoke` with a :class:`ServiceCall`."""
+        warnings.warn(
+            "ServiceBus.invoke_resilient is deprecated; use "
+            "ServiceBus.invoke(ServiceCall(...), policy=InvocationPolicy(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._invoke(
+            ServiceCall(
+                service=service_name,
+                parameters=parameters,
+                call_node_id=call_node_id,
+                pushed=pushed,
+                push_mode=push_mode,
+                anchor_edge=anchor_edge,
+            ),
+            policy=InvocationPolicy(
+                retry=retry or RetryPolicy(), breaker=breaker_policy
+            ),
+            trace=None,
+        )
+
+    def _invoke(
+        self,
+        call: ServiceCall,
+        policy: Optional[InvocationPolicy],
+        trace: Optional[AnyTracer],
+    ) -> ResilientOutcome:
+        """The resilient invocation loop: breaker gate, attempts, backoff."""
+        policy = policy or InvocationPolicy()
+        tracer = trace or NULL_TRACER
+        retry = policy.retry
+        breaker = (
+            self.breaker_for(call.service, policy.breaker)
+            if policy.breaker is not None
+            else None
+        )
+        outcome = ResilientOutcome()
+        for attempt in range(1, retry.max_attempts + 1):
+            if breaker is not None and not breaker.allow(self.clock_s):
+                outcome.short_circuited = True
+                outcome.fault = CircuitOpenFault(call.service)
+                tracer.event(EVENT_SHORT_CIRCUIT, service=call.service)
+                return outcome
+            if attempt > 1:
+                backoff = retry.backoff_before(attempt, key=call.service)
+                outcome.backoff_s += backoff
+                self.clock_s += backoff
+                outcome.retries += 1
+                tracer.event(
+                    EVENT_BACKOFF, seconds=backoff, before_attempt=attempt
+                )
+            outcome.attempts += 1
+            tracer.event(EVENT_ATTEMPT, attempt=attempt, service=call.service)
+            try:
+                reply, record = self._attempt(
+                    call.service,
+                    call.parameters,
+                    call_node_id=call.call_node_id,
+                    pushed=call.pushed,
+                    push_mode=call.push_mode,
+                    anchor_edge=call.anchor_edge,
+                    attempt=attempt,
+                    timeout_s=retry.timeout_s,
+                )
+            except ServiceFault as fault:
+                outcome.faults += 1
+                outcome.fault = fault
+                if self.log.records and self.log.records[-1].fault:
+                    outcome.fault_time_s += self.log.records[-1].simulated_time_s
+                tracer.event(
+                    EVENT_FAULT,
+                    attempt=attempt,
+                    kind="timeout" if isinstance(fault, TimeoutFault) else "fault",
+                    service=call.service,
+                )
+                if breaker is not None and breaker.record_failure(self.clock_s):
+                    outcome.breaker_trips += 1
+                    tracer.event(EVENT_BREAKER_TRIP, service=call.service)
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            outcome.reply = reply
+            outcome.record = record
+            outcome.fault = None
+            return outcome
+        return outcome
+
+    def _attempt(
+        self,
         service_name: str,
         parameters: Sequence[Node],
         call_node_id: Optional[int] = None,
@@ -196,69 +373,6 @@ class ServiceBus:
         )
         self.clock_s += record.simulated_time_s
         return reply, record
-
-    def invoke_resilient(
-        self,
-        service_name: str,
-        parameters: Sequence[Node],
-        call_node_id: Optional[int] = None,
-        pushed: Optional[TreePattern] = None,
-        push_mode: PushMode = PushMode.NONE,
-        anchor_edge: EdgeKind = EdgeKind.CHILD,
-        retry: Optional[RetryPolicy] = None,
-        breaker_policy: Optional[CircuitBreakerPolicy] = None,
-    ) -> ResilientOutcome:
-        """The resilient invocation loop: breaker gate, attempts, backoff.
-
-        Never raises on service faults — the outcome's ``fault`` field
-        carries the last failure so callers apply their own policy.
-        (Unknown services still raise: that is a caller bug, not a
-        remote fault.)
-        """
-        retry = retry or RetryPolicy()
-        breaker = (
-            self.breaker_for(service_name, breaker_policy)
-            if breaker_policy is not None
-            else None
-        )
-        outcome = ResilientOutcome()
-        for attempt in range(1, retry.max_attempts + 1):
-            if breaker is not None and not breaker.allow(self.clock_s):
-                outcome.short_circuited = True
-                outcome.fault = CircuitOpenFault(service_name)
-                return outcome
-            if attempt > 1:
-                backoff = retry.backoff_before(attempt, key=service_name)
-                outcome.backoff_s += backoff
-                self.clock_s += backoff
-                outcome.retries += 1
-            outcome.attempts += 1
-            try:
-                reply, record = self.invoke(
-                    service_name,
-                    parameters,
-                    call_node_id=call_node_id,
-                    pushed=pushed,
-                    push_mode=push_mode,
-                    anchor_edge=anchor_edge,
-                    attempt=attempt,
-                    timeout_s=retry.timeout_s,
-                )
-            except ServiceFault as fault:
-                outcome.faults += 1
-                outcome.fault = fault
-                if self.log.records and self.log.records[-1].fault:
-                    outcome.fault_time_s += self.log.records[-1].simulated_time_s
-                if breaker is not None and breaker.record_failure(self.clock_s):
-                    outcome.breaker_trips += 1
-                continue
-            if breaker is not None:
-                breaker.record_success()
-            outcome.reply = reply
-            outcome.record = record
-            outcome.fault = None
-            return outcome
-        return outcome
 
     def _record_fault(
         self,

@@ -16,8 +16,12 @@ policy objects of the resilience layer:
   invocation (attempts, faults, backoff, breaker activity), consumed by
   the engine's metrics.
 
+* :class:`InvocationPolicy` — the retry policy and the (optional)
+  breaker policy bundled into the one object
+  :meth:`repro.services.registry.ServiceBus.invoke` accepts.
+
 The mechanics (the attempt loop itself) live on
-:meth:`repro.services.registry.ServiceBus.invoke_resilient`.
+:meth:`repro.services.registry.ServiceBus.invoke`.
 """
 
 from __future__ import annotations
@@ -102,6 +106,33 @@ class RetryPolicy:
         if self.max_attempts == 1:
             return self
         return dataclasses.replace(self, max_attempts=1)
+
+
+@dataclasses.dataclass(frozen=True)
+class InvocationPolicy:
+    """Everything the bus needs to know to invoke one call resiliently.
+
+    The single policy object of the unified
+    :meth:`~repro.services.registry.ServiceBus.invoke` entry point:
+    bundles the retry/backoff/timeout loop with the (optional)
+    per-service circuit breaker.  The default is the resilient
+    default — three attempts, no breaker.
+    """
+
+    retry: RetryPolicy = RetryPolicy()
+    breaker: Optional["CircuitBreakerPolicy"] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.retry, RetryPolicy):
+            raise TypeError(
+                f"InvocationPolicy.retry must be a RetryPolicy, "
+                f"got {type(self.retry).__name__}"
+            )
+
+    @classmethod
+    def single_attempt(cls) -> "InvocationPolicy":
+        """One try, no breaker — the old plain-``invoke`` semantics."""
+        return cls(retry=RetryPolicy(max_attempts=1))
 
 
 class BreakerState(enum.Enum):

@@ -24,7 +24,8 @@ from ..axml.node import Node
 from ..pattern.nodes import EdgeKind, PatternKind, PatternNode
 from ..pattern.pattern import TreePattern
 from ..services.catalog import first_value
-from ..services.registry import ServiceBus, ServiceRegistry
+from ..services.registry import ServiceBus, ServiceCall, ServiceRegistry
+from ..services.resilience import InvocationPolicy
 from ..services.service import Service
 
 DEFAULT_ALPHABET = ("alpha", "beta", "gamma", "delta", "epsilon")
@@ -205,8 +206,14 @@ class SyntheticWorld:
             for call in calls:
                 if not document.contains(call):
                     continue
-                reply, _ = bus.invoke(call.label, call.children)
-                document.replace_call(call, reply.forest)
+                outcome = bus.invoke(
+                    ServiceCall(service=call.label, parameters=call.children),
+                    policy=InvocationPolicy.single_attempt(),
+                )
+                if outcome.fault is not None:
+                    raise outcome.fault
+                assert outcome.reply is not None
+                document.replace_call(call, outcome.reply.forest)
                 invoked += 1
                 if invoked >= max_calls:
                     return

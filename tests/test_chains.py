@@ -4,6 +4,7 @@ import pytest
 
 from repro.lazy.config import EngineConfig, Strategy
 from repro.lazy.engine import LazyQueryEvaluator
+from repro.services.registry import ServiceCall
 from repro.workloads.chains import build_chain_workload
 
 
@@ -41,7 +42,9 @@ def test_chain_document_is_schema_valid_at_every_stage():
     assert wl.schema.validate_document(doc) == []
     while doc.function_nodes():
         call = doc.function_nodes()[0]
-        reply, _ = bus.invoke(call.label, call.children)
+        reply = bus.invoke(
+            ServiceCall(service=call.label, parameters=call.children)
+        ).reply
         doc.replace_call(call, reply.forest)
         assert wl.schema.validate_document(doc) == []
 

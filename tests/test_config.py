@@ -59,6 +59,59 @@ def test_labels(kwargs, expected):
     assert EngineConfig(**kwargs).label == expected
 
 
+def test_fields_are_keyword_only():
+    with pytest.raises(TypeError):
+        EngineConfig(Strategy.NAIVE)
+
+
+def test_enum_fields_accept_string_values():
+    config = EngineConfig(strategy="naive", fault_policy="retry")
+    assert config.strategy is Strategy.NAIVE
+    assert config.fault_policy is FaultPolicy.RETRY
+
+
+@pytest.mark.parametrize(
+    "kwargs,field",
+    [
+        (dict(strategy="eager"), "strategy"),
+        (dict(typing="psychic"), "typing"),
+        (dict(push_mode="shove"), "push_mode"),
+        (dict(fault_policy="panic"), "fault_policy"),
+        (dict(max_invocations=0), "max_invocations"),
+        (dict(max_rounds=-3), "max_rounds"),
+        (dict(max_rounds=True), "max_rounds"),
+    ],
+)
+def test_bad_values_fail_fast_naming_the_field(kwargs, field):
+    with pytest.raises(ValueError, match=f"EngineConfig.{field}"):
+        EngineConfig(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs,field",
+    [
+        (dict(parallel="yes"), "parallel"),
+        (dict(use_layers=1), "use_layers"),
+        (dict(retry=3), "retry"),
+        (dict(breaker="open"), "breaker"),
+        (dict(trace="stdout"), "trace"),
+    ],
+)
+def test_bad_types_fail_fast_naming_the_field(kwargs, field):
+    with pytest.raises(TypeError, match=f"EngineConfig.{field}"):
+        EngineConfig(**kwargs)
+
+
+def test_trace_accepts_sink_and_tracer():
+    from repro.obs.trace import InMemorySink, Tracer
+
+    sink = InMemorySink()
+    assert EngineConfig(trace=sink).trace is sink
+    tracer = Tracer(sink)
+    assert EngineConfig(trace=tracer).trace is tracer
+    assert EngineConfig(trace=None).trace is None
+
+
 def test_metrics_derived_quantities():
     metrics = Metrics(
         strategy="x",

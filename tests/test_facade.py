@@ -1,0 +1,117 @@
+"""Tests for the one-shot ``repro.evaluate`` facade."""
+
+import pytest
+
+import repro
+from repro.axml.builder import C, E, V
+from repro.axml.xmlio import serialize_document
+from repro.lazy.config import EngineConfig, FaultPolicy, Strategy
+from repro.obs.trace import EVALUATE, InMemorySink
+from repro.services.catalog import StaticService
+from repro.services.registry import ServiceBus, ServiceRegistry
+from repro.workloads.hotels import (
+    figure_1_document,
+    figure_1_registry,
+    paper_query,
+)
+
+QUERY = "/r/x/$V"
+EXPECTED_FIG1_ROWS = {
+    ("Jo Mama", "75, 2nd Av."),
+    ("In Delis", "2nd Ave."),
+    ("Liberty Diner", "2 Liberty Pl."),
+}
+
+
+def services():
+    return [
+        StaticService("f", [E("x", V("1"))]),
+        StaticService("g", [E("x", V("2"))]),
+    ]
+
+
+def root():
+    return E("r", C("f"), C("g"), E("x", V("0")))
+
+
+def test_facade_is_exported_at_top_level():
+    assert repro.evaluate is not None
+    outcome = repro.evaluate(
+        paper_query(), figure_1_document(), services=figure_1_registry()
+    )
+    assert outcome.value_rows() == EXPECTED_FIG1_ROWS
+
+
+def test_accepts_string_query_and_node_document():
+    outcome = repro.evaluate(QUERY, root(), services=services())
+    assert outcome.value_rows() == {("0",), ("1",), ("2",)}
+
+
+def test_accepts_xml_text_document():
+    text = serialize_document(figure_1_document())
+    outcome = repro.evaluate(
+        paper_query(), text, services=figure_1_registry()
+    )
+    assert outcome.value_rows() == EXPECTED_FIG1_ROWS
+
+
+def test_accepts_service_list_registry_and_bus():
+    by_list = repro.evaluate(QUERY, root(), services=services())
+    by_registry = repro.evaluate(
+        QUERY, root(), services=ServiceRegistry(services())
+    )
+    bus = ServiceBus(ServiceRegistry(services()))
+    by_bus = repro.evaluate(QUERY, root(), services=bus)
+    assert (
+        by_list.value_rows() == by_registry.value_rows() == by_bus.value_rows()
+    )
+    assert bus.log.call_count == by_bus.metrics.calls_invoked  # bus reused
+
+
+def test_strategy_shorthand_and_string_coercion():
+    lazy = repro.evaluate(QUERY, root(), services=services())
+    naive = repro.evaluate(
+        QUERY, root(), services=services(), strategy="naive"
+    )
+    assert naive.metrics.strategy == "naive"
+    assert naive.value_rows() == lazy.value_rows()
+
+
+def test_config_passes_through():
+    outcome = repro.evaluate(
+        QUERY,
+        root(),
+        services=services(),
+        config=EngineConfig(
+            strategy=Strategy.NAIVE, fault_policy=FaultPolicy.FREEZE
+        ),
+    )
+    assert outcome.metrics.strategy == "naive"
+
+
+def test_conflicting_strategy_and_config_raise():
+    with pytest.raises(ValueError, match="conflicting strategies"):
+        repro.evaluate(
+            QUERY,
+            root(),
+            services=services(),
+            strategy=Strategy.NAIVE,
+            config=EngineConfig(strategy=Strategy.TOP_DOWN),
+        )
+
+
+def test_trace_kwarg_collects_spans():
+    sink = InMemorySink()
+    repro.evaluate(QUERY, root(), services=services(), trace=sink)
+    assert len(sink.roots) == 1
+    assert sink.roots[0].name == EVALUATE
+
+
+def test_trace_kwarg_does_not_mutate_the_given_config():
+    sink = InMemorySink()
+    config = EngineConfig()
+    repro.evaluate(
+        QUERY, root(), services=services(), config=config, trace=sink
+    )
+    assert config.trace is None
+    assert sink.roots

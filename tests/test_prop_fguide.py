@@ -6,6 +6,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.lazy.fguide import FGuide
 from repro.lazy.relevance import linear_path_queries
 from repro.pattern.match import Matcher
+from repro.services.registry import ServiceCall
 from repro.workloads.synthetic import SyntheticWorld
 
 
@@ -69,7 +70,9 @@ def test_incremental_maintenance_equals_rebuild(world_seed, doc_seed, picks):
             if not calls:
                 break
             target = calls[pick % len(calls)]
-            reply, _ = bus.invoke(target.label, target.children)
+            reply = bus.invoke(
+                ServiceCall(service=target.label, parameters=target.children)
+            ).reply
             document.replace_call(target, reply.forest)
             incremental = set(guide.paths()), guide.call_count()
             guide.rebuild()

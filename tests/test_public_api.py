@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.services",
     "repro.lazy",
     "repro.workloads",
+    "repro.obs",
     "repro.cli",
 ]
 
@@ -34,6 +35,7 @@ def test_packages_import_cleanly(name):
         "repro.services",
         "repro.lazy",
         "repro.workloads",
+        "repro.obs",
     ],
 )
 def test_all_names_resolve(name):
@@ -70,5 +72,10 @@ def test_readme_quickstart_names_exist():
         "LazyQueryEvaluator",
         "EngineConfig",
         "Strategy",
+        "evaluate",
+        "InMemorySink",
+        "JsonlSink",
+        "ServiceCall",
+        "InvocationPolicy",
     ):
         assert hasattr(repro, name)

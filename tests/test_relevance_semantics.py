@@ -9,7 +9,7 @@ from repro.axml.builder import C, E, V, build_document
 from repro.lazy.relevance import build_nfqs
 from repro.pattern.match import Matcher, snapshot_result
 from repro.pattern.parse import parse_pattern
-from repro.services.registry import ServiceBus
+from repro.services.registry import ServiceBus, ServiceCall
 from repro.workloads.hotels import (
     figure_1_document,
     figure_1_registry,
@@ -36,7 +36,9 @@ def test_retrieved_call_contributes_transitively_produced_data():
         n for n in retrieved.values() if n.label == "getNearbyRestos"
     )
     call_id = resto_call.node_id
-    reply, _ = bus.invoke(resto_call.label, resto_call.children)
+    reply = bus.invoke(
+        ServiceCall(service=resto_call.label, parameters=resto_call.children)
+    ).reply
     doc.replace_call(resto_call, reply.forest)
     rows = snapshot_result(query, doc)
     assert rows  # "Jo Mama" qualifies
@@ -132,7 +134,9 @@ def test_relevance_gained_by_new_calls():
         for n in nfq_retrieved(query, doc).values()
         if n.label == "getNearbyRestos"
     )
-    reply, _ = bus.invoke(resto_call.label, resto_call.children)
+    reply = bus.invoke(
+        ServiceCall(service=resto_call.label, parameters=resto_call.children)
+    ).reply
     doc.replace_call(resto_call, reply.forest)
     after = {n.label for n in nfq_retrieved(query, doc).values()}
     # Figure 3: the In Delis restaurant arrives with a nested getRating.

@@ -23,12 +23,13 @@ from repro.services.catalog import (
     StaticService,
     TimeoutFault,
 )
-from repro.services.registry import ServiceBus, ServiceRegistry
+from repro.services.registry import ServiceBus, ServiceCall, ServiceRegistry
 from repro.services.resilience import (
     BreakerState,
     CircuitBreaker,
     CircuitBreakerPolicy,
     CircuitOpenFault,
+    InvocationPolicy,
     RetryPolicy,
     deterministic_jitter,
 )
@@ -146,14 +147,19 @@ def test_flaky_service_rate_one_always_fails_with_chosen_kind():
 def test_slow_service_trips_the_bus_timeout():
     slow = SlowService(StaticService("s", [E("x", V("1"))]), extra_latency_s=2.0)
     bus = ServiceBus(ServiceRegistry([slow]))
-    with pytest.raises(TimeoutFault):
-        bus.invoke("s", [], timeout_s=1.0)
+    outcome = bus.invoke(
+        ServiceCall(service="s"),
+        policy=InvocationPolicy(
+            retry=RetryPolicy(max_attempts=1, timeout_s=1.0)
+        ),
+    )
+    assert isinstance(outcome.fault, TimeoutFault)
     record = bus.log.records[-1]
     assert record.fault and record.fault_kind == "timeout"
     assert record.simulated_time_s == 1.0  # charged exactly the deadline
     # Without the deadline the same service answers fine.
-    reply, record = bus.invoke("s", [])
-    assert reply.forest and not record.fault
+    outcome = bus.invoke(ServiceCall(service="s"))
+    assert outcome.reply.forest and not outcome.record.fault
 
 
 # -- the bus's resilient loop --------------------------------------------------
@@ -161,8 +167,11 @@ def test_slow_service_trips_the_bus_timeout():
 
 def test_bus_logs_faulted_attempts_with_bytes_and_time():
     bus = ServiceBus(failing_registry(failures=1))
-    with pytest.raises(ServiceFault):
-        bus.invoke("f", [V("key")])
+    outcome = bus.invoke(
+        ServiceCall(service="f", parameters=[V("key")]),
+        policy=InvocationPolicy.single_attempt(),
+    )
+    assert isinstance(outcome.fault, ServiceFault)
     assert bus.log.call_count == 1
     record = bus.log.records[0]
     assert record.fault and record.fault_kind == "fault"
@@ -173,10 +182,13 @@ def test_bus_logs_faulted_attempts_with_bytes_and_time():
     assert bus.log.faults_by_service() == {"f": 1}
 
 
-def test_invoke_resilient_retries_to_success():
+def test_invoke_retries_to_success():
     bus = ServiceBus(failing_registry(failures=2))
-    outcome = bus.invoke_resilient(
-        "f", [], retry=RetryPolicy(max_attempts=3, base_backoff_s=0.5)
+    outcome = bus.invoke(
+        ServiceCall(service="f"),
+        policy=InvocationPolicy(
+            retry=RetryPolicy(max_attempts=3, base_backoff_s=0.5)
+        ),
     )
     assert outcome.succeeded
     assert outcome.attempts == 3
@@ -187,23 +199,27 @@ def test_invoke_resilient_retries_to_success():
     assert [r.fault for r in bus.log.records] == [True, True, False]
 
 
-def test_invoke_resilient_exhaustion_returns_fault_not_raises():
+def test_invoke_exhaustion_returns_fault_not_raises():
     bus = ServiceBus(failing_registry(failures=5))
-    outcome = bus.invoke_resilient("f", [], retry=RetryPolicy(max_attempts=2))
+    outcome = bus.invoke(
+        ServiceCall(service="f"),
+        policy=InvocationPolicy(retry=RetryPolicy(max_attempts=2)),
+    )
     assert not outcome.succeeded
     assert isinstance(outcome.fault, ServiceFault)
     assert outcome.attempts == 2 and outcome.faults == 2
 
 
-def test_invoke_resilient_breaker_opens_and_short_circuits():
+def test_invoke_breaker_opens_and_short_circuits():
     flaky = FlakyService(StaticService("s", [E("ok")]), fault_rate=1.0)
     bus = ServiceBus(ServiceRegistry([flaky]))
     policy = CircuitBreakerPolicy(failure_threshold=3, reset_after_s=None)
-    outcome = bus.invoke_resilient(
-        "s",
-        [],
-        retry=RetryPolicy(max_attempts=10, base_backoff_s=0.01),
-        breaker_policy=policy,
+    outcome = bus.invoke(
+        ServiceCall(service="s"),
+        policy=InvocationPolicy(
+            retry=RetryPolicy(max_attempts=10, base_backoff_s=0.01),
+            breaker=policy,
+        ),
     )
     assert not outcome.succeeded
     assert outcome.breaker_trips == 1
@@ -211,7 +227,9 @@ def test_invoke_resilient_breaker_opens_and_short_circuits():
     assert outcome.attempts == 3  # stopped at the threshold, not at 10
     assert bus.log.call_count == 3
     # Subsequent invocations are answered by the breaker alone.
-    again = bus.invoke_resilient("s", [], breaker_policy=policy)
+    again = bus.invoke(
+        ServiceCall(service="s"), policy=InvocationPolicy(breaker=policy)
+    )
     assert again.short_circuited and again.attempts == 0
     assert isinstance(again.fault, CircuitOpenFault)
     assert bus.log.call_count == 3
@@ -221,16 +239,47 @@ def test_breaker_half_open_probe_recovers_service():
     svc = FailingService("s", StaticService("inner", [E("ok")]), failures=2)
     bus = ServiceBus(ServiceRegistry([svc]))
     policy = CircuitBreakerPolicy(failure_threshold=2, reset_after_s=0.0)
-    first = bus.invoke_resilient(
-        "s", [], retry=RetryPolicy(max_attempts=2, base_backoff_s=0.01),
-        breaker_policy=policy,
+    first = bus.invoke(
+        ServiceCall(service="s"),
+        policy=InvocationPolicy(
+            retry=RetryPolicy(max_attempts=2, base_backoff_s=0.01),
+            breaker=policy,
+        ),
     )
     assert not first.succeeded and first.breaker_trips == 1
     # reset_after 0 simulated seconds: next call is the half-open probe,
     # the delegate has recovered, and the breaker closes again.
-    second = bus.invoke_resilient("s", [], breaker_policy=policy)
+    second = bus.invoke(
+        ServiceCall(service="s"), policy=InvocationPolicy(breaker=policy)
+    )
     assert second.succeeded
     assert bus.breakers["s"].state is BreakerState.CLOSED
+
+
+def test_deprecated_invoke_resilient_still_works_but_warns():
+    bus = ServiceBus(failing_registry(failures=2))
+    with pytest.warns(DeprecationWarning, match="invoke_resilient"):
+        outcome = bus.invoke_resilient(
+            "f", [], retry=RetryPolicy(max_attempts=3, base_backoff_s=0.5)
+        )
+    assert outcome.succeeded
+    assert outcome.attempts == 3
+    assert outcome.retries == 2 and outcome.faults == 2
+
+
+def test_deprecated_invoke_resilient_breaker_path_warns():
+    flaky = FlakyService(StaticService("s", [E("ok")]), fault_rate=1.0)
+    bus = ServiceBus(ServiceRegistry([flaky]))
+    policy = CircuitBreakerPolicy(failure_threshold=2, reset_after_s=None)
+    with pytest.warns(DeprecationWarning):
+        outcome = bus.invoke_resilient(
+            "s",
+            [],
+            retry=RetryPolicy(max_attempts=5, base_backoff_s=0.01),
+            breaker_policy=policy,
+        )
+    assert not outcome.succeeded
+    assert outcome.breaker_trips == 1 and outcome.short_circuited
 
 
 # -- engine fault policies -----------------------------------------------------

@@ -15,7 +15,12 @@ from repro.services.catalog import (
     first_value,
     make_signature,
 )
-from repro.services.registry import ServiceBus, ServiceRegistry, UnknownServiceError
+from repro.services.registry import (
+    ServiceBus,
+    ServiceCall,
+    ServiceRegistry,
+    UnknownServiceError,
+)
 from repro.services.service import CallableService, PushMode
 from repro.services.simulation import InvocationLog, NetworkModel
 
@@ -160,7 +165,10 @@ def test_registry_merges_signatures_into_schema():
 def test_bus_accounts_bytes_and_time():
     svc = StaticService("s", [E("payload", V("x" * 100))], latency_s=0.5)
     bus = ServiceBus(ServiceRegistry([svc]), network=NetworkModel(per_kb_s=1.0))
-    reply, record = bus.invoke("s", [V("key")], call_node_id=7)
+    outcome = bus.invoke(
+        ServiceCall(service="s", parameters=[V("key")], call_node_id=7)
+    )
+    reply, record = outcome.reply, outcome.record
     assert record.service_name == "s"
     assert record.call_node_id == 7
     assert record.request_bytes == 3
@@ -173,12 +181,15 @@ def test_bus_accounts_bytes_and_time():
 def test_bus_counts_pushed_query_in_request_bytes():
     svc = StaticService("s", [])
     bus = ServiceBus(ServiceRegistry([svc]))
-    _, plain = bus.invoke("s", [V("k")])
-    _, pushed = bus.invoke(
-        "s", [V("k")],
-        pushed=parse_pattern('/restaurant[rating="5"]'),
-        push_mode=PushMode.FILTERED,
-    )
+    plain = bus.invoke(ServiceCall(service="s", parameters=[V("k")])).record
+    pushed = bus.invoke(
+        ServiceCall(
+            service="s",
+            parameters=[V("k")],
+            pushed=parse_pattern('/restaurant[rating="5"]'),
+            push_mode=PushMode.FILTERED,
+        )
+    ).record
     assert pushed.request_bytes > plain.request_bytes
     assert pushed.pushed_query is not None
 
@@ -186,8 +197,23 @@ def test_bus_counts_pushed_query_in_request_bytes():
 def test_bus_counts_new_calls_in_reply():
     svc = StaticService("s", [E("a", C("f"), C("g"))])
     bus = ServiceBus(ServiceRegistry([svc]))
-    _, record = bus.invoke("s", [])
+    record = bus.invoke(ServiceCall(service="s")).record
     assert record.new_calls == 2
+
+
+def test_legacy_invoke_shim_warns_but_works():
+    svc = StaticService("s", [E("a")])
+    bus = ServiceBus(ServiceRegistry([svc]))
+    with pytest.warns(DeprecationWarning, match="ServiceBus.invoke"):
+        reply, record = bus.invoke("s", [V("k")])
+    assert reply.forest and not record.fault
+
+
+def test_new_invoke_rejects_stray_positionals():
+    svc = StaticService("s", [E("a")])
+    bus = ServiceBus(ServiceRegistry([svc]))
+    with pytest.raises(TypeError):
+        bus.invoke(ServiceCall(service="s"), [V("k")])
 
 
 def test_log_aggregates():
