@@ -149,6 +149,12 @@ def _build_config(args: argparse.Namespace, trace=None) -> EngineConfig:
         retry=retry,
         breaker=breaker,
         max_invocations=args.max_calls,
+        max_concurrency=getattr(args, "max_concurrency", 1),
+        call_cache=bool(
+            getattr(args, "call_cache", False)
+            or getattr(args, "call_cache_ttl", None) is not None
+        ),
+        call_cache_ttl_s=getattr(args, "call_cache_ttl", None),
         trace=trace,
     )
 
@@ -364,6 +370,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for --fault-rate injection",
     )
     ev.add_argument("--max-calls", type=int, default=100_000)
+    ev.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=1,
+        help="calls of a parallel round in flight at once on the "
+        "simulated clock (1 = serial clock; >1 charges the batch "
+        "makespan instead of the sum)",
+    )
+    ev.add_argument(
+        "--call-cache",
+        action="store_true",
+        help="memoize call replies on the bus (service + argument "
+        "digest); assumes services are functions of their parameters",
+    )
+    ev.add_argument(
+        "--call-cache-ttl",
+        type=float,
+        default=None,
+        help="expiry for memoized replies, in simulated seconds "
+        "(implies --call-cache)",
+    )
     ev.add_argument(
         "--trace",
         action="store_true",

@@ -118,6 +118,23 @@ class EngineConfig:
     """
     max_invocations: int = 100_000
     max_rounds: int = 100_000
+    max_concurrency: int = 1
+    """How many calls of one parallel round may be in flight at once on
+    the simulated clock.  1 (the default) keeps the legacy serial clock;
+    > 1 dispatches each round as a batch through the bus scheduler and
+    charges the batch's *makespan* instead of the sum (Section 4.4's
+    non-blocking independent calls)."""
+    use_threads: bool = True
+    """Under ``max_concurrency > 1``, also run the real service work on
+    a thread pool (grouped per service) so wall-clock-heavy services
+    overlap.  Never affects simulated accounting."""
+    call_cache: bool = False
+    """Memoize call replies on the bus (service + argument-forest
+    digest): duplicate calls cost zero simulated time.  Opt-in because
+    it assumes services are functions of their parameters."""
+    call_cache_ttl_s: Optional[float] = None
+    """Expiry for memoized replies, in *simulated* seconds (None =
+    no expiry).  Only meaningful with ``call_cache=True``."""
     trace: Union[TraceSink, Tracer, NullTracer, None] = None
     """Where evaluation spans go: a :class:`repro.obs.TraceSink` (the
     engine wraps a tracer around it, binding the simulated clock to the
@@ -132,6 +149,8 @@ class EngineConfig:
         "dedupe_relevance_queries",
         "drop_value_joins",
         "validate_io",
+        "use_threads",
+        "call_cache",
     )
 
     def __post_init__(self) -> None:
@@ -151,13 +170,22 @@ class EngineConfig:
                     f"EngineConfig.{name} must be a bool, "
                     f"got {getattr(self, name)!r}"
                 )
-        for name in ("max_invocations", "max_rounds"):
+        for name in ("max_invocations", "max_rounds", "max_concurrency"):
             bound = getattr(self, name)
             if not isinstance(bound, int) or isinstance(bound, bool) or bound < 1:
                 raise ValueError(
                     f"EngineConfig.{name} must be a positive integer, "
                     f"got {bound!r}"
                 )
+        if self.call_cache_ttl_s is not None and (
+            not isinstance(self.call_cache_ttl_s, (int, float))
+            or isinstance(self.call_cache_ttl_s, bool)
+            or self.call_cache_ttl_s <= 0
+        ):
+            raise ValueError(
+                f"EngineConfig.call_cache_ttl_s must be a positive number "
+                f"or None, got {self.call_cache_ttl_s!r}"
+            )
         if not isinstance(self.retry, RetryPolicy):
             raise TypeError(
                 f"EngineConfig.retry must be a RetryPolicy, got {self.retry!r}"
@@ -218,4 +246,8 @@ class EngineConfig:
             parts.append("fguide")
         if self.push_mode is not PushMode.NONE:
             parts.append(f"push-{self.push_mode.value}")
+        if self.max_concurrency > 1:
+            parts.append(f"conc{self.max_concurrency}")
+        if self.call_cache:
+            parts.append("cache")
         return "+".join(parts)

@@ -56,6 +56,11 @@ class ContinuousQuery:
         """
         if self._outcome is not None and not self.is_stale:
             return self._outcome
+        if self._outcome is not None:
+            # The document mutated under a standing query: memoized call
+            # replies may describe a world that no longer exists, so the
+            # bus cache is conservatively dropped before re-evaluating.
+            self.evaluator.bus.invalidate_cache()
         self._outcome = self.evaluator.evaluate(self.query, self.document)
         self._evaluated_version = self.document.version
         self.refresh_count += 1

@@ -21,6 +21,7 @@ Ties everything together (Sections 3-7):
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Optional
 
@@ -47,7 +48,8 @@ from ..schema.graphschema import LenientSatisfiability
 from ..schema.satisfiability import ExactSatisfiability, SatisfiabilityOracle
 from ..schema.schema import Schema, SchemaError
 from ..services.registry import ServiceBus, ServiceCall
-from ..services.resilience import InvocationPolicy
+from ..services.resilience import InvocationPolicy, ResilientOutcome
+from ..services.scheduler import CallCache, SchedulerPolicy
 from ..services.service import PushMode
 from .config import EngineConfig, FaultPolicy, Strategy, TypingMode
 from .fguide import FGuide
@@ -145,6 +147,10 @@ class LazyQueryEvaluator:
         tracer = tracer_for(
             self.config.trace, sim_clock=lambda: self.bus.clock_s
         )
+        if self.config.call_cache and self.bus.cache is None:
+            # Cache state lives on the bus (like breaker state), so it
+            # persists across evaluations sharing a ServiceBus.
+            self.bus.cache = CallCache(ttl_s=self.config.call_cache_ttl_s)
         state = _EvaluationState(self, query, document, tracer)
         started = time.perf_counter()
         try:
@@ -171,6 +177,20 @@ class LazyQueryEvaluator:
             rounds=state.rounds,
             overlay=state.overlay,
         )
+
+
+@dataclasses.dataclass
+class _PreparedCall:
+    """A call's bus-facing request, computed before dispatch.
+
+    Splitting preparation (push computation, input validation) from
+    absorption (document splice, metrics) lets a whole round's requests
+    be built first and dispatched as one concurrent batch."""
+
+    service_call: ServiceCall
+    pushed: Optional[PushedSubquery]
+    push_mode: PushMode
+    parent: Optional[Node]
 
 
 class _EvaluationState:
@@ -425,24 +445,76 @@ class _EvaluationState:
             batch = [(call, targets)]
         times: list[float] = []
         new_names: set[str] = set()
+        if len(batch) > 1 and config.max_concurrency > 1:
+            times, new_names, makespan = self._invoke_round_batch(batch)
+            self._account_round(
+                times,
+                layer_index=layer.index,
+                parallel=True,
+                makespan=makespan,
+            )
+        else:
+            for call, target_uids in batch:
+                if not self._budget_left():
+                    self.metrics.completed = False
+                    break
+                if not self.document.contains(call):
+                    continue
+                names_before = set(self._builder.function_names) if self._builder else set()
+                elapsed = self._invoke_call(call, target_uids)
+                if elapsed is not None:
+                    times.append(elapsed)
+                if self._builder is not None:
+                    new_names |= set(self._builder.function_names) - names_before
+            self._account_round(
+                times, layer_index=layer.index, parallel=len(batch) > 1
+            )
+        if new_names:
+            self._rebuild_queries(reason="new_names")
+        return False
+
+    def _invoke_round_batch(
+        self, batch: list[tuple[Node, frozenset[int]]]
+    ) -> tuple[list[float], set[str], float]:
+        """Dispatch one parallel round through the bus batch scheduler.
+
+        Returns ``(times, new function names, makespan)``; ``times``
+        carries one entry per accounted invocation, as in the serial
+        loop, while the makespan is what the round costs on the
+        simulated parallel clock."""
+        prepared: list[tuple[Node, _PreparedCall]] = []
         for call, target_uids in batch:
-            if not self._budget_left():
+            if self.invocations + len(prepared) >= self.config.max_invocations:
                 self.metrics.completed = False
                 break
             if not self.document.contains(call):
                 continue
-            names_before = set(self._builder.function_names) if self._builder else set()
-            elapsed = self._invoke_call(call, target_uids)
+            prepared.append((call, self._prepare_call(call, target_uids)))
+        if not prepared:
+            return [], set(), 0.0
+        names_before = set(self._builder.function_names) if self._builder else set()
+        result = self.bus.invoke_batch(
+            [prep.service_call for _, prep in prepared],
+            policy=self._invocation_policy(),
+            scheduler=SchedulerPolicy(
+                max_concurrency=self.config.max_concurrency,
+                use_threads=self.config.use_threads,
+            ),
+            trace=self.tracer,
+        )
+        times: list[float] = []
+        for (call, prep), outcome in zip(prepared, result.outcomes):
+            elapsed = self._absorb_outcome(call, prep, outcome)
             if elapsed is not None:
                 times.append(elapsed)
-            if self._builder is not None:
-                new_names |= set(self._builder.function_names) - names_before
-        self._account_round(
-            times, layer_index=layer.index, parallel=len(batch) > 1
+        new_names: set[str] = set()
+        if self._builder is not None:
+            new_names = set(self._builder.function_names) - names_before
+        self.metrics.batch_count += 1
+        self.metrics.max_batch_width = max(
+            self.metrics.max_batch_width, result.width
         )
-        if new_names:
-            self._rebuild_queries(reason="new_names")
-        return False
+        return times, new_names, result.parallel_s
 
     def _collect_relevant(
         self, layer: Layer
@@ -524,6 +596,19 @@ class _EvaluationState:
     def _invoke_call_inner(
         self, call: Node, target_uids: frozenset[int], span
     ) -> Optional[float]:
+        prep = self._prepare_call(call, target_uids)
+        outcome = self.bus.invoke(
+            prep.service_call,
+            policy=self._invocation_policy(),
+            trace=self.tracer,
+        )
+        if span is not None and outcome.fault is not None:
+            span.tags["fault_kind"] = type(outcome.fault).__name__
+        return self._absorb_outcome(call, prep, outcome)
+
+    def _prepare_call(
+        self, call: Node, target_uids: frozenset[int]
+    ) -> _PreparedCall:
         pushed: Optional[PushedSubquery] = None
         push_mode = PushMode.NONE
         if self.config.push_mode is not PushMode.NONE and len(target_uids) == 1:
@@ -539,15 +624,8 @@ class _EvaluationState:
         if self.config.validate_io:
             self._check_io(self._schema.validate_node(call))
 
-        parent = call.parent
-        policy = self.config.fault_policy
-        retry = (
-            self.config.retry
-            if policy is FaultPolicy.RETRY
-            else self.config.retry.single_attempt()
-        )
-        outcome = self.bus.invoke(
-            ServiceCall(
+        return _PreparedCall(
+            service_call=ServiceCall(
                 service=call.label,
                 parameters=call.children,
                 call_node_id=call.node_id,
@@ -557,11 +635,23 @@ class _EvaluationState:
                 push_mode=push_mode,
                 anchor_edge=pushed.anchor_edge if pushed else EdgeKind.CHILD,
             ),
-            policy=InvocationPolicy(retry=retry, breaker=self.config.breaker),
-            trace=self.tracer,
+            pushed=pushed,
+            push_mode=push_mode,
+            parent=call.parent,
         )
-        if span is not None and outcome.fault is not None:
-            span.tags["fault_kind"] = type(outcome.fault).__name__
+
+    def _invocation_policy(self) -> InvocationPolicy:
+        policy = self.config.fault_policy
+        retry = (
+            self.config.retry
+            if policy is FaultPolicy.RETRY
+            else self.config.retry.single_attempt()
+        )
+        return InvocationPolicy(retry=retry, breaker=self.config.breaker)
+
+    def _absorb_outcome(
+        self, call: Node, prep: _PreparedCall, outcome: ResilientOutcome
+    ) -> Optional[float]:
         metrics = self.metrics
         metrics.faults += outcome.faults
         metrics.retries += outcome.retries
@@ -570,15 +660,19 @@ class _EvaluationState:
         metrics.breaker_trips += outcome.breaker_trips
         if outcome.short_circuited:
             metrics.breaker_short_circuits += 1
+        if outcome.cache_hit:
+            metrics.cache_hits += 1
 
+        policy = self.config.fault_policy
         if not outcome.succeeded:
             if policy is FaultPolicy.RAISE:
                 assert outcome.fault is not None
                 raise outcome.fault
             self._resolve_faulted_call(call, policy)
             if outcome.attempts == 0:
-                # Pure breaker short-circuit: nothing was shipped, so no
-                # invocation (or round) is accounted.
+                # Pure breaker short-circuit (or a coalesced duplicate of
+                # a faulted call): nothing was shipped, so no invocation
+                # (or round) is accounted.
                 return None
             self.invocations += 1
             metrics.calls_invoked += 1
@@ -587,8 +681,8 @@ class _EvaluationState:
             # round budget and the simulated clocks.
             return outcome.fault_time_s + outcome.backoff_s
 
-        reply, record = outcome.reply, outcome.record
-        assert reply is not None and record is not None
+        reply = outcome.reply
+        assert reply is not None
         if self.config.validate_io and reply.push_mode is PushMode.NONE:
             # Pushed replies are legitimately pruned below the output
             # type, so only plain replies are checked against it.
@@ -596,16 +690,19 @@ class _EvaluationState:
 
         new_calls = self.document.replace_call(call, reply.forest)
         self.invocations += 1
-        self.metrics.calls_invoked += 1
-        self.metrics.nodes_materialized += sum(
+        metrics.calls_invoked += 1
+        metrics.nodes_materialized += sum(
             tree.subtree_size() for tree in reply.forest
         )
-        if reply.is_bindings and self.overlay is not None and pushed is not None:
-            assert parent is not None
-            self.overlay.add(parent, pushed, reply.bindings or [])
+        if reply.is_bindings and self.overlay is not None and prep.pushed is not None:
+            assert prep.parent is not None
+            self.overlay.add(prep.parent, prep.pushed, reply.bindings or [])
         if self._builder is not None and new_calls:
             self._builder.add_function_names(c.label for c in new_calls)
-        return record.simulated_time_s + outcome.fault_time_s + outcome.backoff_s
+        elapsed = outcome.fault_time_s + outcome.backoff_s
+        if outcome.record is not None:
+            elapsed += outcome.record.simulated_time_s
+        return elapsed
 
     def _resolve_faulted_call(self, call: Node, policy: FaultPolicy) -> None:
         """Leave the document in a sound state after a definitive fault.
@@ -665,22 +762,31 @@ class _EvaluationState:
         return pushed
 
     def _account_round(
-        self, times: list[float], layer_index: Optional[int], parallel: bool
+        self,
+        times: list[float],
+        layer_index: Optional[int],
+        parallel: bool,
+        makespan: Optional[float] = None,
     ) -> None:
         # ``times`` has one entry per *attempted* invocation, including
         # fully-faulted ones (their failed-attempt + backoff time) — so
         # fault-only rounds still count toward the ``max_rounds`` budget.
+        # ``makespan`` (batch-scheduled rounds) overrides the parallel
+        # charge: under bounded concurrency a round costs its schedule's
+        # makespan, not max(times).
         if not times:
             return
+        if makespan is None:
+            makespan = max(times) if parallel else sum(times)
         self.metrics.invocation_rounds += 1
         self.metrics.simulated_sequential_s += sum(times)
-        self.metrics.simulated_parallel_s += max(times) if parallel else sum(times)
+        self.metrics.simulated_parallel_s += makespan
         self.rounds.append(
             RoundRecord(
                 layer_index=layer_index,
                 calls=tuple(f"{t:.4f}" for t in times),
                 parallel=parallel,
-                simulated_time_s=max(times) if parallel else sum(times),
+                simulated_time_s=makespan,
             )
         )
 

@@ -60,6 +60,13 @@ class Metrics:
     calls_skipped: int = 0
     """Calls whose subtree the legacy SKIP policy deleted."""
     io_violations: int = 0
+    batch_count: int = 0
+    """Rounds dispatched through the concurrent batch scheduler."""
+    max_batch_width: int = 0
+    """Widest batch (calls per concurrent dispatch) seen."""
+    cache_hits: int = 0
+    """Calls answered by the bus's memoization cache (zero simulated
+    time, nothing shipped)."""
 
     analysis_wall_s: float = 0.0
     simulated_sequential_s: float = 0.0
@@ -67,6 +74,18 @@ class Metrics:
 
     match_can_checks: int = 0
     match_candidates_visited: int = 0
+
+    @property
+    def serial_time_s(self) -> float:
+        """Simulated service time on the serial clock (alias of
+        ``simulated_sequential_s`` — the E10 experiment's baseline)."""
+        return self.simulated_sequential_s
+
+    @property
+    def parallel_time_s(self) -> float:
+        """Simulated service time under per-round concurrency (alias of
+        ``simulated_parallel_s``: sum of round makespans)."""
+        return self.simulated_parallel_s
 
     @property
     def total_time_s(self) -> float:
@@ -98,6 +117,12 @@ class Metrics:
                 f"frozen={self.calls_frozen} skipped={self.calls_skipped} "
                 f"breaker-trips={self.breaker_trips}"
                 f"/{self.breaker_short_circuits}"
+            )
+        if self.batch_count or self.cache_hits:
+            text += (
+                f" batches={self.batch_count} "
+                f"width={self.max_batch_width} "
+                f"cache-hits={self.cache_hits}"
             )
         return text
 

@@ -39,6 +39,7 @@ class ComparisonRow:
             round(m.total_time_parallel_s, 3),
             m.faults,
             m.retries,
+            m.cache_hits,
             m.result_rows,
         )
 
@@ -53,6 +54,7 @@ HEADERS = (
     "time_par_s",
     "faults",
     "retries",
+    "cache",
     "rows",
 )
 

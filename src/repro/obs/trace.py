@@ -10,8 +10,12 @@ pruning, E5 layering): every phase of an evaluation —
       layer
         round
           relevance_check     (evaluating the relevance queries)
+          batch               (one concurrent dispatch, when the
+                               scheduler is on — wraps its calls'
+                               ``invocation`` spans, whose simulated
+                               intervals legitimately overlap)
           invocation          (one service call, with attempt /
-                               backoff / breaker events)
+                               backoff / breaker / cache-hit events)
             push              (computing the pushed subquery)
       final_match             (conventional evaluation at the end)
 
@@ -44,6 +48,7 @@ SATISFIABILITY = "satisfiability"
 LAYER = "layer"
 ROUND = "round"
 RELEVANCE_CHECK = "relevance_check"
+BATCH = "batch"
 INVOCATION = "invocation"
 PUSH = "push"
 FINAL_MATCH = "final_match"
@@ -55,6 +60,7 @@ EVENT_RETRY = "retry"
 EVENT_BACKOFF = "backoff"
 EVENT_BREAKER_TRIP = "breaker_trip"
 EVENT_SHORT_CIRCUIT = "breaker_short_circuit"
+EVENT_CACHE_HIT = "cache_hit"
 
 
 @dataclasses.dataclass

@@ -14,6 +14,7 @@ tracer; the pre-1.1 ``invoke(service_name, parameters, ...)`` and
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import warnings
 from typing import Iterable, Optional, Sequence, Union
@@ -21,13 +22,16 @@ from typing import Iterable, Optional, Sequence, Union
 from ..axml.node import Node
 from ..axml.xmlio import forest_size_bytes, serialized_size
 from ..obs.trace import (
+    BATCH,
     EVENT_ATTEMPT,
     EVENT_BACKOFF,
     EVENT_BREAKER_TRIP,
+    EVENT_CACHE_HIT,
     EVENT_FAULT,
     EVENT_SHORT_CIRCUIT,
-    NULL_TRACER,
+    INVOCATION,
     AnyTracer,
+    tracer_for,
 )
 from ..pattern.nodes import EdgeKind
 from ..pattern.pattern import TreePattern
@@ -40,6 +44,13 @@ from .resilience import (
     InvocationPolicy,
     ResilientOutcome,
     RetryPolicy,
+)
+from .scheduler import (
+    BatchOutcome,
+    CallCache,
+    SchedulerPolicy,
+    assign_workers,
+    cache_key,
 )
 from .service import CallReply, PushMode, Service
 from .simulation import InvocationLog, InvocationRecord, NetworkModel
@@ -64,6 +75,45 @@ class ServiceCall:
     pushed: Optional[TreePattern] = None
     push_mode: PushMode = PushMode.NONE
     anchor_edge: EdgeKind = EdgeKind.CHILD
+
+
+@dataclasses.dataclass
+class _RawAttempt:
+    """One service execution, measured but not yet accounted.
+
+    Produced by :meth:`ServiceBus._execute_raw`, which touches no shared
+    bus state — that is what makes it safe to run on worker threads
+    during batch dispatch.  ``charged_s`` is the simulated time this
+    attempt costs (deadline on timeout, latency + request transfer on
+    any other fault, full round trip on success)."""
+
+    request_bytes: int
+    response_bytes: int
+    service_latency_s: float
+    charged_s: float
+    pushed_text: Optional[str] = None
+    reply: Optional[CallReply] = None
+    fault: Optional[ServiceFault] = None
+    new_calls: int = 0
+
+
+@dataclasses.dataclass
+class _CallRun:
+    """Private per-call state of one batch member.
+
+    ``events``/``breaker_marks`` carry *batch-relative* timestamps; the
+    deterministic replay phase rebases them onto the bus clock once the
+    call's scheduled start offset is known."""
+
+    call: ServiceCall
+    outcome: ResilientOutcome
+    key: Optional[str] = None
+    resolved: bool = False
+    coalesced_with: Optional[int] = None
+    duration_s: float = 0.0
+    attempts: list = dataclasses.field(default_factory=list)
+    events: list = dataclasses.field(default_factory=list)
+    breaker_marks: list = dataclasses.field(default_factory=list)
 
 
 class ServiceRegistry:
@@ -131,11 +181,24 @@ class ServiceBus:
         self,
         registry: ServiceRegistry,
         network: Optional[NetworkModel] = None,
+        cache: Optional[CallCache] = None,
     ) -> None:
         self.registry = registry
         self.log = InvocationLog(network=network)
         self.breakers: dict[str, CircuitBreaker] = {}
         self.clock_s: float = 0.0
+        self.cache = cache
+
+    def invalidate_cache(self, service: Optional[str] = None) -> int:
+        """Drop memoized call replies (all, or one service's).
+
+        The hook for document updates and changing worlds: memoization
+        assumes services are functions of their parameters, so anything
+        that breaks that assumption must call this.  Returns how many
+        entries were dropped (0 when no cache is attached)."""
+        if self.cache is None:
+            return 0
+        return self.cache.invalidate(service)
 
     def breaker_for(
         self, service_name: str, policy: CircuitBreakerPolicy
@@ -232,9 +295,31 @@ class ServiceBus:
         policy: Optional[InvocationPolicy],
         trace: Optional[AnyTracer],
     ) -> ResilientOutcome:
-        """The resilient invocation loop: breaker gate, attempts, backoff."""
+        """One resilient invocation, consulting the call cache if attached."""
         policy = policy or InvocationPolicy()
-        tracer = trace or NULL_TRACER
+        tracer = tracer_for(trace, sim_clock=lambda: self.clock_s)
+        key: Optional[str] = None
+        if self.cache is not None:
+            key = cache_key(call)
+            hit = self.cache.lookup(key, self.clock_s)
+            if hit is not None:
+                tracer.event(EVENT_CACHE_HIT, service=call.service)
+                return ResilientOutcome(reply=hit, cache_hit=True)
+        outcome = self._invoke_live(call, policy, tracer)
+        if key is not None and outcome.reply is not None:
+            # Stored before the engine splices the forest into a live
+            # document (the cache clones on store anyway — belt and
+            # braces against aliasing).
+            self.cache.store(key, outcome.reply, self.clock_s)
+        return outcome
+
+    def _invoke_live(
+        self,
+        call: ServiceCall,
+        policy: InvocationPolicy,
+        tracer: AnyTracer,
+    ) -> ResilientOutcome:
+        """The resilient invocation loop: breaker gate, attempts, backoff."""
         retry = policy.retry
         breaker = (
             self.breaker_for(call.service, policy.breaker)
@@ -243,13 +328,23 @@ class ServiceBus:
         )
         outcome = ResilientOutcome()
         for attempt in range(1, retry.max_attempts + 1):
-            if breaker is not None and not breaker.allow(self.clock_s):
+            backoff = (
+                retry.backoff_before(attempt, key=call.service)
+                if attempt > 1
+                else 0.0
+            )
+            if breaker is not None and not breaker.allow(self.clock_s + backoff):
+                # Admission is decided at the moment the attempt would
+                # actually start — after its backoff wait — and a
+                # rejected attempt charges nothing: a wait never sat
+                # out must not advance the clock.  (Checking at
+                # ``clock_s + backoff`` also admits the half-open probe
+                # when the cool-down elapses *during* the backoff.)
                 outcome.short_circuited = True
                 outcome.fault = CircuitOpenFault(call.service)
                 tracer.event(EVENT_SHORT_CIRCUIT, service=call.service)
                 return outcome
             if attempt > 1:
-                backoff = retry.backoff_before(attempt, key=call.service)
                 outcome.backoff_s += backoff
                 self.clock_s += backoff
                 outcome.retries += 1
@@ -292,6 +387,330 @@ class ServiceBus:
             return outcome
         return outcome
 
+    def invoke_batch(
+        self,
+        calls: Sequence[ServiceCall],
+        *,
+        policy: Optional[InvocationPolicy] = None,
+        scheduler: Optional[SchedulerPolicy] = None,
+        trace: Optional[AnyTracer] = None,
+    ) -> BatchOutcome:
+        """Invoke a batch of *independent* calls under one scheduler.
+
+        The concurrency model of Section 4's layering argument: the
+        calls of one round cannot feed each other, so they are
+        list-scheduled onto ``scheduler.max_concurrency`` simulated
+        workers and the bus clock advances by the schedule's *makespan*
+        instead of the sum of the calls' durations.  Real execution
+        optionally overlaps on a thread pool, grouped by service so a
+        stateful service still sees its own calls in submission order.
+
+        Every per-call guarantee of :meth:`invoke` is preserved: retry,
+        backoff, per-attempt timeouts, the cache, and the breaker — with
+        batch semantics for the latter: admission is gated on the
+        breaker state *at dispatch time* (each call retries against a
+        private clone, so a sibling's trip cannot retroactively reject a
+        call already in flight), and the clones' events are merged back
+        into the shared breaker in submission order afterwards.
+
+        Accounting — log records, trace spans/events, breaker merges,
+        cache stores — is replayed on the main thread in submission
+        order, so the result is deterministic regardless of thread
+        interleaving.  ``scheduler.max_concurrency == 1`` degenerates to
+        the exact serial loop (same clock, same log, same events).
+        """
+        calls = list(calls)
+        policy = policy or InvocationPolicy()
+        scheduler = scheduler or SchedulerPolicy()
+        tracer = tracer_for(trace, sim_clock=lambda: self.clock_s)
+        result = BatchOutcome(width=len(calls))
+        if not calls:
+            return result
+        start = self.clock_s
+        with tracer.span(
+            BATCH, width=len(calls), concurrency=scheduler.max_concurrency
+        ):
+            if scheduler.max_concurrency == 1:
+                for call in calls:
+                    with tracer.span(
+                        INVOCATION,
+                        service=call.service,
+                        call_uid=call.call_node_id,
+                    ) as span:
+                        outcome = self._invoke(call, policy=policy, trace=tracer)
+                        if span is not None and outcome.fault is not None:
+                            span.tags.setdefault(
+                                "fault_kind",
+                                "short_circuit"
+                                if outcome.short_circuited
+                                else (
+                                    "timeout"
+                                    if isinstance(outcome.fault, TimeoutFault)
+                                    else "fault"
+                                ),
+                            )
+                    result.outcomes.append(outcome)
+                    if outcome.cache_hit:
+                        result.cache_hits += 1
+                result.serial_s = self.clock_s - start
+                result.parallel_s = result.serial_s
+            else:
+                self._invoke_batch_concurrent(
+                    calls, policy, scheduler, tracer, start, result
+                )
+        return result
+
+    def _invoke_batch_concurrent(
+        self,
+        calls: list[ServiceCall],
+        policy: InvocationPolicy,
+        scheduler: SchedulerPolicy,
+        tracer: AnyTracer,
+        start: float,
+        result: BatchOutcome,
+    ) -> None:
+        # Phase 1 — consult the cache and coalesce duplicate keys, in
+        # submission order.  A duplicate of an earlier miss is not
+        # executed: it resolves during replay, after its prototype has
+        # stored (or failed to store) a reply.
+        runs: list[_CallRun] = []
+        pending_by_key: dict[str, int] = {}
+        for index, call in enumerate(calls):
+            run = _CallRun(call=call, outcome=ResilientOutcome())
+            if self.cache is not None:
+                run.key = cache_key(call)
+                hit = self.cache.lookup(run.key, start)
+                if hit is not None:
+                    run.outcome.reply = hit
+                    run.outcome.cache_hit = True
+                    run.resolved = True
+                elif run.key in pending_by_key:
+                    run.coalesced_with = pending_by_key[run.key]
+                    run.resolved = True
+                else:
+                    pending_by_key[run.key] = index
+            runs.append(run)
+
+        # Phase 2 — execute the misses on private virtual clocks,
+        # grouped by service (a stateful mock must see its calls in
+        # submission order for determinism); distinct services may
+        # overlap on real threads.
+        groups: dict[str, list[int]] = {}
+        for index, run in enumerate(runs):
+            if not run.resolved:
+                groups.setdefault(run.call.service, []).append(index)
+        snapshots: dict[str, CircuitBreaker] = {}
+        if policy.breaker is not None:
+            for name in groups:
+                snapshots[name] = self.breaker_for(name, policy.breaker)
+
+        def run_group(indices: list[int]) -> None:
+            for index in indices:
+                clone: Optional[CircuitBreaker] = None
+                snapshot = snapshots.get(runs[index].call.service)
+                if snapshot is not None:
+                    clone = snapshot.clone()
+                    if clone.opened_at_s is not None:
+                        # Rebase the open timestamp onto the virtual
+                        # (batch-relative) clock the run loop uses.
+                        clone.opened_at_s -= start
+                self._run_call_virtual(runs[index], policy, clone)
+
+        group_lists = list(groups.values())
+        if scheduler.use_threads and len(group_lists) > 1:
+            workers = min(len(group_lists), scheduler.max_concurrency)
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                futures = [
+                    pool.submit(run_group, indices) for indices in group_lists
+                ]
+                for future in futures:
+                    future.result()
+        else:
+            for indices in group_lists:
+                run_group(indices)
+
+        # Phase 3 — list-schedule the batch onto the simulated workers.
+        offsets, makespan = assign_workers(
+            [run.duration_s for run in runs], scheduler.max_concurrency
+        )
+
+        # Phase 4 — deterministic replay in submission order: log
+        # records, trace events, breaker merges and cache stores all
+        # happen here, on the main thread, at rebased timestamps.
+        for index, run in enumerate(runs):
+            source = (
+                runs[run.coalesced_with]
+                if run.coalesced_with is not None
+                else None
+            )
+            self._replay_run(run, start + offsets[index], policy, tracer, source)
+            result.outcomes.append(run.outcome)
+            if run.outcome.cache_hit:
+                result.cache_hits += 1
+            result.serial_s += run.duration_s
+        result.parallel_s = makespan
+        self.clock_s = start + makespan
+
+    def _run_call_virtual(
+        self,
+        run: _CallRun,
+        policy: InvocationPolicy,
+        breaker: Optional[CircuitBreaker],
+    ) -> None:
+        """The retry loop of one batch member, on a batch-relative clock.
+
+        Mirrors :meth:`_invoke_live` exactly, but mutates nothing
+        shared: attempts, events and breaker marks accumulate on the
+        :class:`_CallRun` for later replay.  ``breaker`` is a private
+        rebased clone (or None)."""
+        call = run.call
+        retry = policy.retry
+        outcome = run.outcome
+        vclock = 0.0
+        for attempt in range(1, retry.max_attempts + 1):
+            backoff = (
+                retry.backoff_before(attempt, key=call.service)
+                if attempt > 1
+                else 0.0
+            )
+            if breaker is not None and not breaker.allow(vclock + backoff):
+                outcome.short_circuited = True
+                outcome.fault = CircuitOpenFault(call.service)
+                run.events.append(
+                    (vclock, EVENT_SHORT_CIRCUIT, {"service": call.service})
+                )
+                break
+            if attempt > 1:
+                outcome.backoff_s += backoff
+                vclock += backoff
+                outcome.retries += 1
+                run.events.append(
+                    (
+                        vclock,
+                        EVENT_BACKOFF,
+                        {"seconds": backoff, "before_attempt": attempt},
+                    )
+                )
+            outcome.attempts += 1
+            run.events.append(
+                (
+                    vclock,
+                    EVENT_ATTEMPT,
+                    {"attempt": attempt, "service": call.service},
+                )
+            )
+            raw = self._execute_raw(call, retry.timeout_s)
+            vclock += raw.charged_s
+            run.attempts.append((attempt, raw))
+            if raw.fault is not None:
+                outcome.faults += 1
+                outcome.fault = raw.fault
+                outcome.fault_time_s += raw.charged_s
+                run.events.append(
+                    (
+                        vclock,
+                        EVENT_FAULT,
+                        {
+                            "attempt": attempt,
+                            "kind": (
+                                "timeout"
+                                if isinstance(raw.fault, TimeoutFault)
+                                else "fault"
+                            ),
+                            "service": call.service,
+                        },
+                    )
+                )
+                run.breaker_marks.append((vclock, False))
+                if breaker is not None and breaker.record_failure(vclock):
+                    outcome.breaker_trips += 1
+                    run.events.append(
+                        (vclock, EVENT_BREAKER_TRIP, {"service": call.service})
+                    )
+                continue
+            run.breaker_marks.append((vclock, True))
+            outcome.fault = None
+            break
+        run.duration_s = vclock
+
+    def _replay_run(
+        self,
+        run: _CallRun,
+        base: float,
+        policy: InvocationPolicy,
+        tracer: AnyTracer,
+        source: Optional[_CallRun],
+    ) -> None:
+        """Account one batch member at its scheduled start time ``base``.
+
+        Emits the call's ``invocation`` span and events with the bus
+        clock temporarily rewound to the call's virtual timestamps (the
+        batch members' intervals legitimately overlap), appends its log
+        records in attempt order, merges its breaker marks into the
+        shared breaker, and stores a successful reply in the cache."""
+        call = run.call
+        outcome = run.outcome
+        self.clock_s = base
+        with tracer.span(
+            INVOCATION, service=call.service, call_uid=call.call_node_id
+        ) as span:
+            if outcome.cache_hit:
+                tracer.event(EVENT_CACHE_HIT, service=call.service)
+            elif source is not None:
+                # Coalesced duplicate: a deferred cache lookup — the
+                # prototype ran and (on success) stored its reply
+                # during its own replay, strictly earlier in
+                # submission order.
+                assert self.cache is not None and run.key is not None
+                hit = self.cache.lookup(run.key, base)
+                if hit is not None:
+                    outcome.reply = hit
+                    outcome.cache_hit = True
+                    tracer.event(EVENT_CACHE_HIT, service=call.service)
+                else:
+                    # The prototype faulted; the duplicate shares its
+                    # fate without charging any time (it never ran).
+                    outcome.fault = source.outcome.fault
+                    outcome.short_circuited = source.outcome.short_circuited
+            else:
+                for rel_s, name, tags in run.events:
+                    self.clock_s = base + rel_s
+                    tracer.event(name, **tags)
+                for attempt, raw in run.attempts:
+                    record = self._record_raw(call, raw, attempt)
+                    if raw.fault is None:
+                        outcome.reply = raw.reply
+                        outcome.record = record
+                if policy.breaker is not None:
+                    shared = self.breaker_for(call.service, policy.breaker)
+                    for rel_s, succeeded in run.breaker_marks:
+                        if succeeded:
+                            shared.record_success()
+                        else:
+                            shared.record_failure(base + rel_s)
+                if (
+                    run.key is not None
+                    and outcome.reply is not None
+                    and self.cache is not None
+                ):
+                    self.cache.store(
+                        run.key, outcome.reply, base + run.duration_s
+                    )
+            if span is not None and outcome.fault is not None:
+                span.tags.setdefault(
+                    "fault_kind",
+                    "short_circuit"
+                    if outcome.short_circuited
+                    else (
+                        "timeout"
+                        if isinstance(outcome.fault, TimeoutFault)
+                        else "fault"
+                    ),
+                )
+            self.clock_s = base + run.duration_s
+
     def _attempt(
         self,
         service_name: str,
@@ -305,31 +724,55 @@ class ServiceBus:
     ) -> tuple[CallReply, InvocationRecord]:
         """One attempt.  Faults are logged (with the fault flag set and
         their request bytes / simulated time charged) and re-raised."""
-        service = self.registry.resolve(service_name)
-        request_bytes = sum(serialized_size(p) for p in parameters)
+        call = ServiceCall(
+            service=service_name,
+            parameters=parameters,
+            call_node_id=call_node_id,
+            pushed=pushed,
+            push_mode=push_mode,
+            anchor_edge=anchor_edge,
+        )
+        raw = self._execute_raw(call, timeout_s)
+        record = self._record_raw(call, raw, attempt)
+        self.clock_s += record.simulated_time_s
+        if raw.fault is not None:
+            raise raw.fault
+        assert raw.reply is not None
+        return raw.reply, record
+
+    def _execute_raw(
+        self, call: ServiceCall, timeout_s: Optional[float]
+    ) -> _RawAttempt:
+        """Run the service once without touching any shared bus state.
+
+        Pure with respect to the bus (no log append, no clock advance,
+        no breaker update), which is what allows batch dispatch to run
+        it on worker threads and replay the accounting deterministically
+        afterwards."""
+        service = self.registry.resolve(call.service)
+        request_bytes = sum(serialized_size(p) for p in call.parameters)
         pushed_text: Optional[str] = None
-        if pushed is not None and push_mode is not PushMode.NONE:
-            pushed_text = pushed.to_string()
+        if call.pushed is not None and call.push_mode is not PushMode.NONE:
+            pushed_text = call.pushed.to_string()
             request_bytes += len(pushed_text.encode("utf-8"))
         try:
             reply = service.invoke(
-                parameters,
-                pushed=pushed,
-                push_mode=push_mode,
-                anchor_edge=anchor_edge,
+                call.parameters,
+                pushed=call.pushed,
+                push_mode=call.push_mode,
+                anchor_edge=call.anchor_edge,
             )
         except ServiceFault as fault:
-            self._record_fault(
-                service_name=service_name,
-                call_node_id=call_node_id,
+            return _RawAttempt(
                 request_bytes=request_bytes,
-                service=service,
+                response_bytes=0,
+                service_latency_s=service.latency_s,
+                charged_s=self._fault_charge(
+                    fault, service, request_bytes, timeout_s
+                ),
                 pushed_text=pushed_text,
-                attempt=attempt,
                 fault=fault,
-                timeout_s=timeout_s,
             )
-            raise
         response_bytes = self._response_bytes(reply)
         simulated = (
             service.latency_s
@@ -340,78 +783,81 @@ class ServiceBus:
             # The reply exists but arrived past the deadline: the caller
             # never sees it, waits exactly ``timeout_s``, and gets a fault.
             fault = TimeoutFault(
-                f"service {service_name!r} missed its "
+                f"service {call.service!r} missed its "
                 f"{timeout_s:.3f}s deadline ({simulated:.3f}s simulated)"
             )
-            self._record_fault(
-                service_name=service_name,
-                call_node_id=call_node_id,
+            return _RawAttempt(
                 request_bytes=request_bytes,
-                service=service,
+                response_bytes=0,
+                service_latency_s=service.latency_s,
+                charged_s=timeout_s,
                 pushed_text=pushed_text,
-                attempt=attempt,
                 fault=fault,
-                timeout_s=timeout_s,
             )
-            raise fault
-        record = self.log.record(
-            service_name=service_name,
-            call_node_id=call_node_id,
+        return _RawAttempt(
             request_bytes=request_bytes,
             response_bytes=response_bytes,
             service_latency_s=service.latency_s,
-            pushed_query=pushed_text,
-            push_mode=reply.push_mode.value,
-            returned_bindings=reply.is_bindings,
+            charged_s=simulated,
+            pushed_text=pushed_text,
+            reply=reply,
             new_calls=sum(
                 1
                 for tree in reply.forest
                 for node in tree.iter_subtree()
                 if node.is_function
             ),
-            attempt=attempt,
         )
-        self.clock_s += record.simulated_time_s
-        return reply, record
 
-    def _record_fault(
+    def _fault_charge(
         self,
-        *,
-        service_name: str,
-        call_node_id: Optional[int],
-        request_bytes: int,
-        service: Service,
-        pushed_text: Optional[str],
-        attempt: int,
         fault: ServiceFault,
+        service: Service,
+        request_bytes: int,
         timeout_s: Optional[float],
-    ) -> InvocationRecord:
+    ) -> float:
         # A timed-out attempt costs exactly the missed deadline; any
         # other fault costs the round-trip latency plus the request
         # transfer (the request was shipped before the failure).
         if isinstance(fault, TimeoutFault) and timeout_s is not None:
-            charged: Optional[float] = timeout_s
-        else:
-            charged = service.latency_s + self.log.network.transfer_time(
-                request_bytes
+            return timeout_s
+        return service.latency_s + self.log.network.transfer_time(request_bytes)
+
+    def _record_raw(
+        self, call: ServiceCall, raw: _RawAttempt, attempt: int
+    ) -> InvocationRecord:
+        """Append one measured attempt to the log (no clock advance)."""
+        if raw.fault is not None:
+            return self.log.record(
+                service_name=call.service,
+                call_node_id=call.call_node_id,
+                request_bytes=raw.request_bytes,
+                response_bytes=0,
+                service_latency_s=raw.service_latency_s,
+                pushed_query=raw.pushed_text,
+                push_mode=PushMode.NONE.value,
+                returned_bindings=False,
+                new_calls=0,
+                fault=True,
+                fault_kind=(
+                    "timeout" if isinstance(raw.fault, TimeoutFault) else "fault"
+                ),
+                attempt=attempt,
+                charged_time_s=raw.charged_s,
             )
-        record = self.log.record(
-            service_name=service_name,
-            call_node_id=call_node_id,
-            request_bytes=request_bytes,
-            response_bytes=0,
-            service_latency_s=service.latency_s,
-            pushed_query=pushed_text,
-            push_mode=PushMode.NONE.value,
-            returned_bindings=False,
-            new_calls=0,
-            fault=True,
-            fault_kind="timeout" if isinstance(fault, TimeoutFault) else "fault",
+        assert raw.reply is not None
+        return self.log.record(
+            service_name=call.service,
+            call_node_id=call.call_node_id,
+            request_bytes=raw.request_bytes,
+            response_bytes=raw.response_bytes,
+            service_latency_s=raw.service_latency_s,
+            pushed_query=raw.pushed_text,
+            push_mode=raw.reply.push_mode.value,
+            returned_bindings=raw.reply.is_bindings,
+            new_calls=raw.new_calls,
             attempt=attempt,
-            charged_time_s=charged,
         )
-        self.clock_s += record.simulated_time_s
-        return record
 
     @staticmethod
     def _response_bytes(reply: CallReply) -> int:

@@ -209,6 +209,22 @@ class CircuitBreaker:
     def reset(self) -> None:
         self.record_success()
 
+    def clone(self) -> "CircuitBreaker":
+        """An independent copy of the current state.
+
+        Concurrent batch dispatch gates every call of a batch against
+        the breaker state *at dispatch time*: each call retries against
+        its own clone (a sibling's trip cannot retroactively reject a
+        call already in flight) and the clones' fault/success events are
+        merged back into the shared breaker afterwards.
+        """
+        twin = CircuitBreaker(self.policy)
+        twin.state = self.state
+        twin.consecutive_faults = self.consecutive_faults
+        twin.opened_at_s = self.opened_at_s
+        twin.trips = self.trips
+        return twin
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CircuitBreaker({self.state.value}, "
@@ -237,6 +253,10 @@ class ResilientOutcome:
     fault_time_s: float = 0.0
     breaker_trips: int = 0
     short_circuited: bool = False
+    cache_hit: bool = False
+    """The reply came from the bus's :class:`~repro.services.scheduler.
+    CallCache`: no attempt ran, nothing was shipped or logged, and
+    ``record`` is None (a hit costs zero simulated time)."""
     fault: Optional[ServiceFault] = None
 
     @property

@@ -1,0 +1,221 @@
+"""Concurrent dispatch scheduling and call-result memoization.
+
+Section 4's layering argument makes independent calls of one round
+mutually non-blocking, yet a serial bus charges every invocation to the
+simulated clock one after the other — understating the very win the
+paper claims for parallel rounds.  This module holds the two pieces the
+:class:`~repro.services.registry.ServiceBus` uses to fix that:
+
+* :class:`SchedulerPolicy` + :func:`assign_workers` — the simulated
+  concurrency model.  A batch of calls is list-scheduled onto
+  ``max_concurrency`` workers (each call starts as soon as a worker is
+  free), and the bus clock advances by the *makespan* of the schedule
+  instead of the sum of the calls' durations.  ``max_concurrency=1``
+  degenerates exactly to the serial clock.
+* :class:`CallCache` — memoization of call *results*, keyed by service
+  name plus a digest of the argument forest (and the pushed subquery, if
+  any).  Duplicate calls across rounds and across pushed subqueries hit
+  the cache instead of the network model: zero simulated time, nothing
+  logged.  Entries carry an optional TTL on the *simulated* clock and
+  can be invalidated explicitly when the document (or the world behind
+  a service) changes.  The cache assumes services are functions of
+  their parameters — exactly the property the synthetic worlds and the
+  declarative catalogues guarantee — and is therefore opt-in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import heapq
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..axml.node import Node
+from ..axml.xmlio import serialize
+from .service import CallReply
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .registry import ServiceCall
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulerPolicy:
+    """How a batch of independent calls is dispatched.
+
+    ``max_concurrency`` bounds how many calls may be in flight at once
+    in the *simulated* world (1 = serial, the legacy clock).
+    ``use_threads`` additionally runs the real service work on a
+    ``ThreadPoolExecutor`` so wall-clock heavy mocks overlap; it never
+    affects simulated accounting, which stays deterministic either way.
+    """
+
+    max_concurrency: int = 1
+    use_threads: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+
+
+@dataclasses.dataclass
+class BatchOutcome:
+    """Aggregate accounting of one :meth:`ServiceBus.invoke_batch`.
+
+    ``outcomes`` is positionally aligned with the submitted calls.
+    ``serial_s`` is what the batch would have cost on the serial clock
+    (the sum of the calls' simulated durations); ``parallel_s`` is the
+    makespan actually charged under the scheduler.
+    """
+
+    outcomes: list = dataclasses.field(default_factory=list)
+    width: int = 0
+    serial_s: float = 0.0
+    parallel_s: float = 0.0
+    cache_hits: int = 0
+
+
+def assign_workers(
+    durations: Sequence[float], max_concurrency: int
+) -> tuple[list[float], float]:
+    """List-schedule ``durations`` (in order) onto bounded workers.
+
+    Returns ``(start_offsets, makespan)`` relative to the batch start:
+    call ``i`` begins at ``start_offsets[i]`` — the earliest moment a
+    worker frees up — and the makespan is when the last worker goes
+    quiet.  With ``max_concurrency >= len(durations)`` every offset is
+    0.0 and the makespan is the longest duration; with 1 worker the
+    offsets are the running sum (the serial clock).
+    """
+    if not durations:
+        return [], 0.0
+    workers = [0.0] * max(1, min(max_concurrency, len(durations)))
+    heapq.heapify(workers)
+    offsets: list[float] = []
+    makespan = 0.0
+    for duration in durations:
+        start = heapq.heappop(workers)
+        offsets.append(start)
+        finish = start + duration
+        heapq.heappush(workers, finish)
+        makespan = max(makespan, finish)
+    return offsets, makespan
+
+
+def forest_digest(parameters: Sequence[Node]) -> str:
+    """A stable digest of an argument forest (order-sensitive)."""
+    hasher = hashlib.sha256()
+    for parameter in parameters:
+        if parameter.is_value:
+            hasher.update(b"v:")
+            hasher.update(parameter.label.encode("utf-8"))
+        else:
+            hasher.update(b"t:")
+            hasher.update(serialize(parameter).encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def cache_key(call: "ServiceCall") -> str:
+    """The memoization key: service + argument digest + push shape."""
+    pushed = call.pushed.to_string() if call.pushed is not None else ""
+    return "|".join(
+        (
+            call.service,
+            forest_digest(call.parameters),
+            pushed,
+            call.push_mode.value,
+            call.anchor_edge.name,
+        )
+    )
+
+
+@dataclasses.dataclass
+class _CacheEntry:
+    reply: CallReply
+    stored_at_s: float
+
+
+class CallCache:
+    """Memoized call replies, keyed by :func:`cache_key`.
+
+    Stored replies are cloned both on the way in and on the way out:
+    the engine splices reply forests into live documents, so sharing
+    trees between the cache and a document would corrupt later hits.
+
+    ``ttl_s`` is measured on the simulated clock (``None`` = no
+    expiry).  :meth:`invalidate` drops everything (or one service's
+    entries) — the hook for document updates and changing worlds.
+    """
+
+    def __init__(
+        self, ttl_s: Optional[float] = None, max_entries: int = 10_000
+    ) -> None:
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (or None)")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        self._entries: dict[str, _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str, now_s: float) -> Optional[CallReply]:
+        """A fresh clone of the memoized reply, or None (miss/expired)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if self.ttl_s is not None and now_s - entry.stored_at_s > self.ttl_s:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _clone_reply(entry.reply)
+
+    def store(self, key: str, reply: CallReply, now_s: float) -> None:
+        if len(self._entries) >= self.max_entries and key not in self._entries:
+            # Evict the stalest entry; a bounded cache must not grow
+            # without limit under adversarial workloads.
+            oldest = min(
+                self._entries, key=lambda k: self._entries[k].stored_at_s
+            )
+            del self._entries[oldest]
+        self._entries[key] = _CacheEntry(
+            reply=_clone_reply(reply), stored_at_s=now_s
+        )
+        self.stores += 1
+
+    def invalidate(self, service: Optional[str] = None) -> int:
+        """Drop all entries (or one service's); returns how many."""
+        if service is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            prefix = f"{service}|"
+            stale = [k for k in self._entries if k.startswith(prefix)]
+            for key in stale:
+                del self._entries[key]
+            dropped = len(stale)
+        self.invalidations += dropped
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CallCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+def _clone_reply(reply: CallReply) -> CallReply:
+    return CallReply(
+        forest=[tree.clone() for tree in reply.forest],
+        bindings=list(reply.bindings) if reply.bindings is not None else None,
+        pushed=reply.pushed,
+        push_mode=reply.push_mode,
+    )

@@ -58,15 +58,26 @@ class ChainService(Service):
 
 
 def build_chain_workload(
-    depth: int = 6, width: int = 1, latency_s: float = 0.05
+    depth: int = 6,
+    width: int = 1,
+    latency_s: float = 0.05,
+    distinct_keys: int | None = None,
 ) -> Workload:
     """A comb of ``width`` branches, each a chain of ``depth`` calls.
 
     The query asks for the leaf of every branch:
     ``/chain/branch/l1/l2/.../l<depth-1>/$LEAF``.
+
+    ``distinct_keys`` caps how many different argument keys the branches
+    use (default: every branch has its own).  With fewer keys than
+    branches the comb contains duplicate calls — the call-cache
+    experiment's knob: duplicates memoize, so only ``distinct_keys``
+    chains pay for the network.
     """
     if depth < 2:
         raise ValueError("chains need depth >= 2")
+    if distinct_keys is not None and distinct_keys < 1:
+        raise ValueError("distinct_keys must be >= 1")
     registry = ServiceRegistry(
         ChainService(level, depth, latency_s) for level in range(1, depth + 1)
     )
@@ -89,12 +100,15 @@ def build_chain_workload(
     steps = "/".join(f"l{level}" for level in range(1, depth))
     query_text = f"/chain/branch/{steps}/$LEAF"
 
+    def branch_key(b: int) -> str:
+        return str(b if distinct_keys is None else b % distinct_keys)
+
     def document_factory() -> Document:
         return build_document(
             E(
                 "chain",
                 *[
-                    E("branch", C("level1", V(str(b))))
+                    E("branch", C("level1", V(branch_key(b))))
                     for b in range(width)
                 ],
             ),

@@ -3,8 +3,28 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.axml.builder import C, E, V, build_document
+
+# Named Hypothesis profiles: "dev" keeps the suite fast locally; CI's
+# differential job selects "ci" (200 derandomized examples per property)
+# with ``--hypothesis-profile=ci``, which is applied by the hypothesis
+# pytest plugin after this module is imported and so overrides "dev".
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("dev")
 from repro.lazy.config import EngineConfig, Strategy
 from repro.lazy.engine import LazyQueryEvaluator
 from repro.services.registry import ServiceBus

@@ -1,0 +1,180 @@
+"""The lazy-vs-naive differential harness: the equivalence oracle.
+
+Scheduling and caching are *optimizations*: none of them may change the
+full result of a query.  Following the type-projection tradition (an
+optimizer is only trustworthy when an equivalence oracle checks it
+against the unoptimized path), this harness generates random synthetic
+workloads — documents x queries x fault plans — and asserts that
+
+* naive materialisation,
+* lazy NFQA,
+* lazy NFQA under the concurrent batch scheduler, and
+* lazy NFQA with the call-result cache
+
+all produce identical ``value_rows()``.  Fault plans are restricted to
+the equivalence-*preserving* ones: no faults, transient faults healed
+by RETRY, and total outages under FREEZE (every strategy freezes the
+same calls, so all of them see the same data).
+
+CI runs this module with ``--hypothesis-profile=ci`` (200 derandomized
+examples per property); locally the "dev" profile keeps it fast.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.lazy.config import EngineConfig, FaultPolicy, Strategy
+from repro.lazy.engine import LazyQueryEvaluator
+from repro.services.catalog import FailingService, FlakyService
+from repro.services.registry import ServiceBus, ServiceRegistry
+from repro.services.resilience import RetryPolicy
+from repro.workloads.synthetic import SyntheticWorld
+
+# The four engine configurations under differential test.  Every entry
+# must compute the same full result on every generated workload.
+CONFIGS = {
+    "naive": dict(strategy=Strategy.NAIVE),
+    "lazy": dict(strategy=Strategy.LAZY_NFQ),
+    "lazy+concurrent": dict(strategy=Strategy.LAZY_NFQ, max_concurrency=8),
+    "lazy+cache": dict(strategy=Strategy.LAZY_NFQ, call_cache=True),
+}
+
+# Equivalence-preserving fault plans: (registry wrapper, config overrides).
+FAULT_PLANS = ("none", "transient", "permanent")
+
+
+def _wrapped_registry(world: SyntheticWorld, plan: str) -> ServiceRegistry:
+    base = world.registry()
+    if plan == "none":
+        return base
+    if plan == "transient":
+        # Each service fails exactly once, then heals: RETRY makes every
+        # strategy converge to the fault-free result.
+        return ServiceRegistry(
+            FailingService(name, base.resolve(name), failures=1)
+            for name in base.names()
+        )
+    # "permanent": a total outage — every invocation faults, every
+    # strategy freezes every call it tries, so all of them are left
+    # querying exactly the extensional part of the document.
+    return ServiceRegistry(
+        FlakyService(base.resolve(name), fault_rate=1.0, seed=world.seed + i)
+        for i, name in enumerate(base.names())
+    )
+
+
+def _plan_config(plan: str) -> dict:
+    if plan == "none":
+        return {}
+    if plan == "transient":
+        return dict(
+            fault_policy=FaultPolicy.RETRY,
+            retry=RetryPolicy(max_attempts=3, base_backoff_s=0.01),
+        )
+    return dict(fault_policy=FaultPolicy.FREEZE)
+
+
+def evaluate_config(
+    world: SyntheticWorld, doc_seed: int, query, plan: str, **config_kwargs
+):
+    """One full evaluation on a fresh bus/registry/document."""
+    bus = ServiceBus(_wrapped_registry(world, plan))
+    config = EngineConfig(**{**_plan_config(plan), **config_kwargs})
+    engine = LazyQueryEvaluator(bus, config=config)
+    return engine.evaluate(query, world.make_document(doc_seed))
+
+
+@given(
+    world_seed=st.integers(min_value=0, max_value=10_000),
+    doc_seed=st.integers(min_value=0, max_value=50),
+    plan=st.sampled_from(FAULT_PLANS),
+)
+def test_all_configurations_agree(world_seed, doc_seed, plan):
+    """The oracle: all four configurations, identical value rows."""
+    world = SyntheticWorld(seed=world_seed)
+    query = world.sample_query(world.make_document(doc_seed), doc_seed)
+    results = {
+        label: evaluate_config(world, doc_seed, query, plan, **kwargs)
+        for label, kwargs in CONFIGS.items()
+    }
+    reference = results["naive"].value_rows()
+    for label, outcome in results.items():
+        assert outcome.value_rows() == reference, (
+            f"{label!r} disagrees with naive under fault plan {plan!r}"
+        )
+
+
+@given(
+    world_seed=st.integers(min_value=0, max_value=10_000),
+    doc_seed=st.integers(min_value=0, max_value=30),
+)
+def test_concurrency_and_cache_compose(world_seed, doc_seed):
+    """Scheduler and cache stacked (and across lazy strategies) still
+    match the serial, uncached result."""
+    world = SyntheticWorld(seed=world_seed)
+    query = world.sample_query(world.make_document(doc_seed), doc_seed)
+    reference = evaluate_config(
+        world, doc_seed, query, "none", strategy=Strategy.LAZY_NFQ
+    ).value_rows()
+    for kwargs in (
+        dict(strategy=Strategy.LAZY_NFQ, max_concurrency=8, call_cache=True),
+        dict(strategy=Strategy.LAZY_NFQ, max_concurrency=2, use_threads=False),
+        dict(strategy=Strategy.LAZY_LPQ, max_concurrency=4, call_cache=True),
+        dict(
+            strategy=Strategy.LAZY_NFQ,
+            speculative=True,
+            max_concurrency=8,
+            call_cache=True,
+        ),
+    ):
+        outcome = evaluate_config(world, doc_seed, query, "none", **kwargs)
+        assert outcome.value_rows() == reference, kwargs
+
+
+@given(
+    world_seed=st.integers(min_value=0, max_value=5_000),
+    doc_seed=st.integers(min_value=0, max_value=20),
+)
+def test_concurrent_clock_never_exceeds_serial(world_seed, doc_seed):
+    """The scheduler only ever *shrinks* the simulated parallel clock:
+    makespan <= sum, per round and in total."""
+    world = SyntheticWorld(seed=world_seed)
+    query = world.sample_query(world.make_document(doc_seed), doc_seed)
+    outcome = evaluate_config(
+        world, doc_seed, query, "none",
+        strategy=Strategy.LAZY_NFQ, max_concurrency=8,
+    )
+    eps = 1e-9
+    assert (
+        outcome.metrics.parallel_time_s
+        <= outcome.metrics.serial_time_s + eps
+    )
+    # And per round: a batch's makespan never exceeds its width times
+    # the longest call, nor does the round report negative time.
+    for record in outcome.rounds:
+        assert 0.0 <= record.simulated_time_s <= (
+            outcome.metrics.serial_time_s + eps
+        )
+
+
+def test_cache_hits_are_free_and_correct():
+    """A deterministic spot check the random oracle implies: duplicate
+    calls hit the cache, cost zero simulated time, same rows."""
+    from repro.workloads.chains import build_chain_workload
+
+    workload = build_chain_workload(depth=4, width=6, distinct_keys=2)
+
+    def run(**kwargs):
+        bus = ServiceBus(workload.registry)
+        engine = LazyQueryEvaluator(
+            bus, schema=workload.schema, config=EngineConfig(**kwargs)
+        )
+        return engine.evaluate(workload.query, workload.make_document()), bus
+
+    plain, plain_bus = run(strategy=Strategy.LAZY_NFQ)
+    cached, cached_bus = run(strategy=Strategy.LAZY_NFQ, call_cache=True)
+    assert cached.value_rows() == plain.value_rows()
+    assert cached.metrics.cache_hits > 0
+    assert cached_bus.clock_s < plain_bus.clock_s
+    assert cached_bus.cache is not None and cached_bus.cache.hits > 0
