@@ -1,7 +1,8 @@
 """The AXML document substrate: trees, documents, builder DSL, XML I/O."""
 
 from .builder import C, E, V, build_document
-from .document import Document, DocumentObserver, DocumentStats
+from .document import Document, DocumentObserver, DocumentStats, SpliceDelta
+from .index import LabelIndex
 from .node import Activation, Node, NodeKind, call, element, value
 from .paths import (
     LabelPath,
@@ -29,9 +30,11 @@ __all__ = [
     "DocumentObserver",
     "DocumentStats",
     "E",
+    "LabelIndex",
     "LabelPath",
     "Node",
     "NodeKind",
+    "SpliceDelta",
     "V",
     "build_document",
     "call",

@@ -27,6 +27,41 @@ class DocumentObserver(Protocol):
 
 
 @dataclasses.dataclass(frozen=True)
+class SpliceDelta:
+    """Exactly what one document mutation changed.
+
+    The call-level events above are enough for call-extent structures
+    (the F-guide); incremental structures over *all* nodes (the label
+    index, the relevance cache) need the full delta: every subtree that
+    left the document and every subtree that was spliced in, plus where.
+    Observers that define a ``splice(document, delta)`` method receive
+    one delta per mutation, after the tree has reached its final state.
+
+    Attributes:
+        removed: roots of the subtrees that left the document (for a
+            call invocation: the function node, parameters still
+            attached underneath).
+        added: roots of the subtrees spliced in (an invocation's result
+            forest), already attached.
+        parent: the node under which the splice happened.
+    """
+
+    removed: tuple[Node, ...]
+    added: tuple[Node, ...]
+    parent: Optional[Node]
+
+    def iter_removed(self) -> Iterator[Node]:
+        """Every node (not just roots) that left the document."""
+        for root in self.removed:
+            yield from root.iter_subtree()
+
+    def iter_added(self) -> Iterator[Node]:
+        """Every node (not just roots) that entered the document."""
+        for root in self.added:
+            yield from root.iter_subtree()
+
+
+@dataclasses.dataclass(frozen=True)
 class DocumentStats:
     """Size figures for a document, used by experiment reports."""
 
@@ -102,6 +137,27 @@ class Document:
     def remove_observer(self, observer: DocumentObserver) -> None:
         self._observers.remove(observer)
 
+    def _emit_splice(
+        self,
+        removed: tuple[Node, ...],
+        added: tuple[Node, ...],
+        parent: Optional[Node],
+    ) -> None:
+        """Deliver a splice delta to the observers that understand it.
+
+        ``splice`` is an optional extension of the observer protocol:
+        legacy observers (which only track call extents) keep receiving
+        ``call_removed``/``calls_added`` and are skipped here.
+        """
+        delta: Optional[SpliceDelta] = None
+        for observer in self._observers:
+            handler = getattr(observer, "splice", None)
+            if handler is None:
+                continue
+            if delta is None:
+                delta = SpliceDelta(removed=removed, added=added, parent=parent)
+            handler(self, delta)
+
     # -- queries over the tree -------------------------------------------------
 
     def iter_nodes(self) -> Iterator[Node]:
@@ -159,6 +215,7 @@ class Document:
             observer.call_removed(self, function_node)
 
         new_functions: list[Node] = []
+        added: list[Node] = []
         for offset, tree in enumerate(result_forest):
             if tree.parent is not None:
                 raise ValueError("result forest trees must be detached")
@@ -167,9 +224,11 @@ class Document:
                 node.produced_by = invoked_id
             tree.parent = parent
             parent.children.insert(position + offset, tree)
+            added.append(tree)
         if new_functions:
             for observer in self._observers:
                 observer.calls_added(self, new_functions)
+        self._emit_splice((function_node,), tuple(added), parent)
         return new_functions
 
     def _unregister_subtree(self, subtree_root: Node) -> None:
@@ -207,6 +266,7 @@ class Document:
         if new_functions:
             for observer in self._observers:
                 observer.calls_added(self, new_functions)
+        self._emit_splice((), (subtree,), parent)
         return new_functions
 
     def remove_subtree(self, node: Node) -> Node:
@@ -217,6 +277,7 @@ class Document:
         if node is self.root:
             raise ValueError("cannot remove the document root")
         self.version += 1
+        parent = node.parent
         removed_calls = [n for n in node.iter_subtree() if n.is_function]
         for call in removed_calls:
             self.record_call_provenance(call)
@@ -225,6 +286,7 @@ class Document:
         for call in removed_calls:
             for observer in self._observers:
                 observer.call_removed(self, call)
+        self._emit_splice((node,), (), parent)
         return node
 
     # -- provenance --------------------------------------------------------------

@@ -155,6 +155,7 @@ def _build_config(args: argparse.Namespace, trace=None) -> EngineConfig:
             or getattr(args, "call_cache_ttl", None) is not None
         ),
         call_cache_ttl_s=getattr(args, "call_cache_ttl", None),
+        incremental=getattr(args, "incremental", False),
         trace=trace,
     )
 
@@ -390,6 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="expiry for memoized replies, in simulated seconds "
         "(implies --call-cache)",
+    )
+    ev.add_argument(
+        "--incremental",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="incremental relevance analysis: maintain a label index "
+        "through splices and re-run only the relevance queries a "
+        "splice could have affected (--no-incremental restores the "
+        "exhaustive per-round re-evaluation)",
     )
     ev.add_argument(
         "--trace",

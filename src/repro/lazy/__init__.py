@@ -4,6 +4,7 @@ from .config import EngineConfig, FaultPolicy, Strategy, TypingMode
 from .continuous import ContinuousQuery
 from .engine import EvaluationOutcome, LazyQueryEvaluator
 from .fguide import FGuide
+from .incremental import LabelFootprint, RelevanceCache
 from .influence import InfluenceAnalyzer
 from .layers import Layer, compute_layers
 from .metrics import Metrics, RoundRecord
@@ -31,11 +32,13 @@ __all__ = [
     "FGuide",
     "FaultPolicy",
     "InfluenceAnalyzer",
+    "LabelFootprint",
     "Layer",
     "LazyQueryEvaluator",
     "Metrics",
     "NFQBuilder",
     "PushedSubquery",
+    "RelevanceCache",
     "RelevanceKind",
     "RelevanceQuery",
     "RoundRecord",

@@ -132,6 +132,16 @@ class EngineConfig:
     """Memoize call replies on the bus (service + argument-forest
     digest): duplicate calls cost zero simulated time.  Opt-in because
     it assumes services are functions of their parameters."""
+    incremental: bool = False
+    """Incremental relevance analysis: maintain a
+    :class:`~repro.axml.index.LabelIndex` through splice deltas (the
+    matcher serves descendant steps from it) and memoize each relevance
+    query's retrieved-call set, re-running only the queries whose label
+    footprint a splice touched (``repro.lazy.incremental``).  Never
+    changes answers or invocation sets; opt-in so the exhaustive
+    re-evaluation stays available as the oracle.  Ignored by the
+    non-lazy strategies and under ``push_mode=BINDINGS`` (overlay
+    rows change match results without document events)."""
     call_cache_ttl_s: Optional[float] = None
     """Expiry for memoized replies, in *simulated* seconds (None =
     no expiry).  Only meaningful with ``call_cache=True``."""
@@ -151,6 +161,7 @@ class EngineConfig:
         "validate_io",
         "use_threads",
         "call_cache",
+        "incremental",
     )
 
     def __post_init__(self) -> None:
@@ -250,4 +261,6 @@ class EngineConfig:
             parts.append(f"conc{self.max_concurrency}")
         if self.call_cache:
             parts.append("cache")
+        if self.incremental:
+            parts.append("inc")
         return "+".join(parts)

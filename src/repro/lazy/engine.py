@@ -26,6 +26,7 @@ import time
 from typing import Optional
 
 from ..axml.document import Document
+from ..axml.index import LabelIndex
 from ..axml.node import Activation, Node
 from ..axml.paths import call_position
 from ..obs.trace import (
@@ -53,6 +54,7 @@ from ..services.scheduler import CallCache, SchedulerPolicy
 from ..services.service import PushMode
 from .config import EngineConfig, FaultPolicy, Strategy, TypingMode
 from .fguide import FGuide
+from .incremental import RelevanceCache
 from .influence import InfluenceAnalyzer
 from .layers import Layer, compute_layers
 from .metrics import Metrics, RoundRecord
@@ -222,6 +224,19 @@ class _EvaluationState:
             else None
         )
         self.fguide: Optional[FGuide] = None
+        self.index: Optional[LabelIndex] = None
+        self.rcache: Optional[RelevanceCache] = None
+        if (
+            self.config.incremental
+            and self.config.strategy is not Strategy.NAIVE
+            and self.overlay is None
+        ):
+            # Overlay rows change match results without any document
+            # event, so memoized relevance sets would go stale silently
+            # — incremental mode stays off under pushed bindings.
+            self.index = LabelIndex(document)
+            self.rcache = RelevanceCache(document)
+        self._matchers: dict[int, Matcher] = {}
         self._nodes_by_uid = {n.uid: n for n in query.nodes()}
         self._pushed_cache: dict[int, PushedSubquery] = {}
         self._schema = self.bus.registry.schema_with_signatures(
@@ -238,6 +253,10 @@ class _EvaluationState:
         if self.fguide is not None:
             self.fguide.detach()
             self.fguide = None
+        if self.rcache is not None:
+            self.rcache.detach()
+        if self.index is not None:
+            self.index.detach()
 
     def finalize_metrics(self, rows: MatchSet) -> None:
         metrics = self.metrics
@@ -245,6 +264,10 @@ class _EvaluationState:
         metrics.final_document_nodes = self.document.stats().total_nodes
         metrics.match_can_checks = self.match_counter.can_checks
         metrics.match_candidates_visited = self.match_counter.candidates_visited
+        metrics.index_candidates = self.match_counter.index_candidates
+        if self.rcache is not None:
+            metrics.relevance_cache_hits = self.rcache.hits
+            metrics.queries_reevaluated = self.rcache.reevaluations
         for record in self.bus.log.records[self._log_start :]:
             metrics.bytes_sent += record.request_bytes
             metrics.bytes_received += record.response_bytes
@@ -415,9 +438,16 @@ class _EvaluationState:
         """One NFQA iteration; returns True when the layer went quiet."""
         config = self.config
         with self.tracer.span(RELEVANCE_CHECK, layer=layer.index) as span:
+            hits_before = self.rcache.hits if self.rcache else 0
+            reevals_before = self.rcache.reevaluations if self.rcache else 0
             relevant = self._collect_relevant(layer)
             if span is not None:
                 span.tags["relevant_calls"] = len(relevant)
+                if self.rcache is not None:
+                    span.tags["cache_hits"] = self.rcache.hits - hits_before
+                    span.tags["reevaluated"] = (
+                        self.rcache.reevaluations - reevals_before
+                    )
         if not relevant:
             return True
         batch: list[tuple[Node, frozenset[int]]] = []
@@ -541,6 +571,25 @@ class _EvaluationState:
         return relevant
 
     def _retrieve(self, rquery: RelevanceQuery) -> list[Node]:
+        """The query's currently-eligible retrieved calls.
+
+        Liveness and activation are read-time properties: a memoized
+        set may still name calls that were invoked or frozen since it
+        was cached (neither changes embeddings over surviving nodes),
+        so both filters run here, after the cache."""
+        if self.rcache is not None:
+            calls = self.rcache.retrieve(rquery, self._retrieve_raw)
+        else:
+            calls = self._retrieve_raw(rquery)
+        return [
+            call
+            for call in calls
+            if call.activation is not Activation.FROZEN
+            and self.document.contains(call)
+        ]
+
+    def _retrieve_raw(self, rquery: RelevanceQuery) -> list[Node]:
+        """Run the relevance query (no caching, no liveness filter)."""
         if self.fguide is not None:
             names = rquery.output.function_names
             candidates = self.fguide.candidates(
@@ -552,29 +601,33 @@ class _EvaluationState:
             self.metrics.guide_candidates += len(candidates)
             if not candidates:
                 return []
-            matcher = Matcher(
-                rquery.pattern,
-                options=self.evaluator.match_options,
-                counter=self.match_counter,
-                overlay=self.overlay,
-            )
+            matcher = self._matcher_for(rquery)
             return [
                 call
                 for call in candidates
-                if call.activation is not Activation.FROZEN
-                and _verify_candidate(rquery, call, matcher)
+                if _verify_candidate(rquery, call, matcher)
             ]
+        matcher = self._matcher_for(rquery)
+        return matcher.evaluate(self.document).distinct_nodes()
+
+    def _matcher_for(self, rquery: RelevanceQuery) -> Matcher:
+        """One compiled matcher per relevance query, reused across
+        rounds.  Keyed by target and pinned to the pattern object, so a
+        query rebuild (layer simplification, refinement) compiles a
+        fresh matcher; reuse only resets the per-evaluation memos."""
+        matcher = self._matchers.get(rquery.target_uid)
+        if matcher is not None and matcher.pattern is rquery.pattern:
+            matcher.reset()
+            return matcher
         matcher = Matcher(
             rquery.pattern,
             options=self.evaluator.match_options,
             counter=self.match_counter,
             overlay=self.overlay,
+            index=self.index,
         )
-        return [
-            call
-            for call in matcher.evaluate(self.document).distinct_nodes()
-            if call.activation is not Activation.FROZEN
-        ]
+        self._matchers[rquery.target_uid] = matcher
+        return matcher
 
     # -- invocation --------------------------------------------------------------------------
 
@@ -798,6 +851,7 @@ class _EvaluationState:
             options=self.evaluator.match_options,
             counter=self.match_counter,
             overlay=self.overlay,
+            index=self.index,
         )
         return matcher.evaluate(self.document)
 

@@ -1,0 +1,285 @@
+"""Incremental relevance analysis: label footprints + memoized queries.
+
+Every NFQA round re-evaluates the layer's relevance queries over the
+whole document, yet a round changes the document by exactly one splice
+(or one batch of splices): the invoked call leaves, its result forest
+enters.  Most relevance queries cannot possibly be affected — none of
+the nodes that moved carry a label the query ever tests.  This module
+makes that observation operational:
+
+* :class:`LabelFootprint` — the set of node tests a pattern can apply,
+  precomputed per relevance query: concrete element/value labels,
+  service names, and wildcard tests, each optionally narrowed by the
+  label of the parent the test hangs under (child edges only — a
+  descendant edge can land anywhere).
+
+* :class:`RelevanceCache` — a :class:`~repro.axml.document.Document`
+  observer memoizing each query's retrieved-call set.  A splice whose
+  delta is disjoint from a query's footprint provably leaves its result
+  unchanged (see below), so ``_collect_relevant`` re-runs only the
+  queries the splice dirtied.
+
+Soundness of the invalidation rule — patterns are *positive* (no
+negation; OR is disjunction), so an embedding is a monotone property of
+node presence:
+
+* a splice can only *create* an embedding that uses at least one newly
+  added node ``n``; ``n`` is then the image of some pattern node ``p``,
+  so ``n`` matches ``p``'s label test — and when ``p`` hangs by a child
+  edge, ``n.parent`` matches ``p.parent``'s test too.  Both are exactly
+  what :meth:`LabelFootprint.touches` checks against the added nodes.
+* a splice can only *destroy* an embedding that used a removed node,
+  checked symmetrically (removed subtree roots are already detached
+  when the delta is delivered, so their pre-splice parent is taken from
+  the delta).
+
+Freezing a call (fault handling) mutates activation in place and emits
+no event, and calls can be invoked between rounds — which is why the
+engine filters cached results through ``document.contains`` and the
+FROZEN check at read time instead of trusting the cache for liveness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..axml.document import Document, SpliceDelta
+from ..axml.node import Node
+from ..pattern.nodes import EdgeKind, PatternKind, PatternNode
+from ..pattern.pattern import TreePattern
+from .relevance import RelevanceQuery
+
+
+class LabelFootprint:
+    """The node tests a pattern can apply, keyed for delta screening.
+
+    Two tables map a *test label* to the set of parent labels the test
+    may fire under: ``None`` as a test label is a wildcard (star or
+    variable nodes; the star function node), ``None`` as a parent set
+    means "any parent" (descendant edges, or a child edge under a
+    non-constant parent).
+    """
+
+    __slots__ = ("_data", "_functions")
+
+    def __init__(self) -> None:
+        self._data: dict[Optional[str], Optional[set[str]]] = {}
+        self._functions: dict[Optional[str], Optional[set[str]]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_pattern(cls, pattern: TreePattern) -> "LabelFootprint":
+        footprint = cls()
+        root = pattern.root
+        # The pattern root maps only to the document root, which no
+        # splice ever adds or removes — its own test needs no entry.
+        root_label = (
+            root.label if root.kind is PatternKind.ELEMENT else None
+        )
+        for child in root.children:
+            footprint._add(child, child.edge, root_label)
+        return footprint
+
+    def _add(
+        self,
+        node: PatternNode,
+        edge: EdgeKind,
+        parent_label: Optional[str],
+    ) -> None:
+        if node.is_or:
+            # Alternatives occupy the OR's position: same edge, same
+            # effective parent.
+            for alt in node.children:
+                self._add(alt, edge, parent_label)
+            return
+        constraint = parent_label if edge is EdgeKind.CHILD else None
+        if node.kind is PatternKind.FUNCTION:
+            if node.function_names is None:
+                self._note(self._functions, None, constraint)
+            else:
+                for name in node.function_names:
+                    self._note(self._functions, name, constraint)
+        elif node.kind in (PatternKind.ELEMENT, PatternKind.VALUE):
+            self._note(self._data, node.label, constraint)
+        else:  # STAR / VARIABLE match any data node
+            self._note(self._data, None, constraint)
+        own_label = node.label if node.kind is PatternKind.ELEMENT else None
+        for child in node.children:
+            self._add(child, child.edge, own_label)
+
+    @staticmethod
+    def _note(
+        table: dict[Optional[str], Optional[set[str]]],
+        key: Optional[str],
+        constraint: Optional[str],
+    ) -> None:
+        if key in table:
+            parents = table[key]
+            if parents is not None:
+                if constraint is None:
+                    table[key] = None
+                else:
+                    parents.add(constraint)
+        else:
+            table[key] = None if constraint is None else {constraint}
+
+    # -- screening ------------------------------------------------------------
+
+    def touches(self, delta: SpliceDelta) -> bool:
+        """Could this splice change the pattern's result? (May say yes
+        spuriously; never says no wrongly — see the module docstring.)"""
+        for root in delta.added:
+            for node in root.iter_subtree():
+                if self.touches_node(node, node.parent):
+                    return True
+        for root in delta.removed:
+            # Detached roots lost their parent pointer; the delta
+            # remembers where they hung.
+            if self.touches_node(root, delta.parent):
+                return True
+            for node in root.iter_subtree():
+                if node is not root and self.touches_node(
+                    node, node.parent
+                ):
+                    return True
+        return False
+
+    def touches_node(self, node: Node, parent: Optional[Node]) -> bool:
+        """Does any test of the footprint accept this document node?"""
+        table = self._functions if node.is_function else self._data
+        if not table:
+            return False
+        parent_label = parent.label if parent is not None else None
+        for key in (node.label, None):
+            if key not in table:
+                continue
+            parents = table[key]
+            if parents is None:
+                return True
+            if parent_label is not None and parent_label in parents:
+                return True
+        return False
+
+    # -- introspection (tests / reports) ---------------------------------------
+
+    @property
+    def data_labels(self) -> frozenset[str]:
+        """Concrete element/value labels the pattern tests."""
+        return frozenset(k for k in self._data if k is not None)
+
+    @property
+    def function_names(self) -> frozenset[str]:
+        """Concrete service names the pattern tests."""
+        return frozenset(k for k in self._functions if k is not None)
+
+    @property
+    def matches_any_data(self) -> bool:
+        """Does a wildcard (star/variable) test appear?"""
+        return None in self._data
+
+    @property
+    def matches_any_function(self) -> bool:
+        """Does a star function test ``()`` appear?"""
+        return None in self._functions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LabelFootprint(data={sorted(self.data_labels)}"
+            f"{'+*' if self.matches_any_data else ''}, "
+            f"functions={sorted(self.function_names)}"
+            f"{'+*' if self.matches_any_function else ''})"
+        )
+
+
+class _CacheEntry:
+    __slots__ = ("pattern", "footprint", "calls")
+
+    def __init__(
+        self,
+        pattern: TreePattern,
+        footprint: LabelFootprint,
+        calls: tuple[Node, ...],
+    ) -> None:
+        self.pattern = pattern
+        self.footprint = footprint
+        self.calls = calls
+
+
+class RelevanceCache:
+    """Memoized retrieved-call sets, invalidated by footprint screening.
+
+    Attach one per evaluation; it observes the document and drops an
+    entry the moment a splice's delta intersects the entry's footprint.
+    Entries are keyed by the relevance query's ``target_uid`` and pinned
+    to the exact pattern object — layer simplification and refinement
+    rebuild the ``RelevanceQuery`` family with fresh patterns, which
+    makes stale entries miss automatically.
+    """
+
+    def __init__(self, document: Document) -> None:
+        self.document = document
+        self._entries: dict[int, _CacheEntry] = {}
+        self.hits = 0
+        """Retrievals answered from a still-valid cached set."""
+        self.reevaluations = 0
+        """Retrievals that had to run the query."""
+        self.invalidations = 0
+        """Entries dropped because a splice touched their footprint."""
+        self.splices_seen = 0
+        document.add_observer(self)
+
+    def detach(self) -> None:
+        self.document.remove_observer(self)
+
+    # DocumentObserver protocol ---------------------------------------------
+
+    def call_removed(self, document: Document, node: Node) -> None:
+        """Covered by :meth:`splice`; kept for protocol completeness."""
+
+    def calls_added(self, document: Document, nodes: list[Node]) -> None:
+        """Covered by :meth:`splice`; kept for protocol completeness."""
+
+    def splice(self, document: Document, delta: SpliceDelta) -> None:
+        self.splices_seen += 1
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if entry.footprint.touches(delta)
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+
+    # -- the memoized retrieval ------------------------------------------------
+
+    def retrieve(
+        self,
+        rquery: RelevanceQuery,
+        evaluate: Callable[[RelevanceQuery], Iterable[Node]],
+    ) -> list[Node]:
+        """The query's retrieved calls, from cache when provably valid.
+
+        The returned list may contain calls that were frozen or removed
+        since it was cached (those events do not change *embeddings*,
+        only eligibility) — callers filter for liveness at read time.
+        """
+        entry = self._entries.get(rquery.target_uid)
+        if entry is not None and entry.pattern is rquery.pattern:
+            self.hits += 1
+            return list(entry.calls)
+        self.reevaluations += 1
+        calls = list(evaluate(rquery))
+        self._entries[rquery.target_uid] = _CacheEntry(
+            pattern=rquery.pattern,
+            footprint=LabelFootprint.from_pattern(rquery.pattern),
+            calls=tuple(calls),
+        )
+        return calls
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RelevanceCache(entries={len(self._entries)}, "
+            f"hits={self.hits}, reevaluations={self.reevaluations}, "
+            f"invalidations={self.invalidations})"
+        )

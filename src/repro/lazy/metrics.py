@@ -74,6 +74,16 @@ class Metrics:
 
     match_can_checks: int = 0
     match_candidates_visited: int = 0
+    index_candidates: int = 0
+    """Descendant-step candidates served by the label index instead of a
+    subtree walk (incremental mode)."""
+    relevance_cache_hits: int = 0
+    """Relevance retrievals answered by a still-valid memoized set —
+    the query did not run (incremental mode)."""
+    queries_reevaluated: int = 0
+    """Relevance retrievals that had to run the query (incremental
+    mode; ``relevance_cache_hits + queries_reevaluated =
+    relevance_evaluations``)."""
 
     @property
     def serial_time_s(self) -> float:
@@ -123,6 +133,12 @@ class Metrics:
                 f" batches={self.batch_count} "
                 f"width={self.max_batch_width} "
                 f"cache-hits={self.cache_hits}"
+            )
+        if self.relevance_cache_hits or self.queries_reevaluated:
+            text += (
+                f" rel-cache={self.relevance_cache_hits}"
+                f"/{self.queries_reevaluated} "
+                f"idx-cands={self.index_candidates}"
             )
         return text
 

@@ -28,6 +28,7 @@ import dataclasses
 from typing import Iterable, Iterator, Optional, Protocol
 
 from ..axml.document import Document
+from ..axml.index import LabelIndex
 from ..axml.node import Node
 from .nodes import EdgeKind, PatternKind, PatternNode
 from .pattern import TreePattern
@@ -57,27 +58,49 @@ class MatchOptions:
             not as document content, so the default is ``False`` (the
             function node itself is still visible, which is what the
             relevance queries need).
+        use_label_index: whether descendant-step candidate enumeration
+            may consult a :class:`~repro.axml.index.LabelIndex` (when
+            the matcher was given one) instead of walking the whole
+            subtree.  On by default; turning it off keeps the
+            exhaustive walk as the oracle path, with the index still
+            attached — which is how the differential tests compare the
+            two.
     """
 
     descend_into_parameters: bool = False
+    use_label_index: bool = True
 
 
 class MatchCounter:
-    """Work counters, used by the experiments to report matcher effort."""
+    """Work counters, used by the experiments to report matcher effort.
 
-    __slots__ = ("can_checks", "candidates_visited", "embeddings_found", "evaluations")
+    ``candidates_visited`` counts nodes enumerated by walking the tree
+    (child steps and un-indexed descendant steps alike, so the figure
+    is comparable across edge kinds); ``index_candidates`` counts nodes
+    served by a label index instead of a walk.
+    """
+
+    __slots__ = (
+        "can_checks",
+        "candidates_visited",
+        "embeddings_found",
+        "evaluations",
+        "index_candidates",
+    )
 
     def __init__(self) -> None:
         self.can_checks = 0
         self.candidates_visited = 0
         self.embeddings_found = 0
         self.evaluations = 0
+        self.index_candidates = 0
 
     def merge(self, other: "MatchCounter") -> None:
         self.can_checks += other.can_checks
         self.candidates_visited += other.candidates_visited
         self.embeddings_found += other.embeddings_found
         self.evaluations += other.evaluations
+        self.index_candidates += other.index_candidates
 
 
 @dataclasses.dataclass(frozen=True)
@@ -144,11 +167,13 @@ class Matcher:
         options: Optional[MatchOptions] = None,
         counter: Optional[MatchCounter] = None,
         overlay: Optional["OverlayLike"] = None,
+        index: Optional[LabelIndex] = None,
     ) -> None:
         self.pattern = pattern
         self.options = options or MatchOptions()
         self.counter = counter or MatchCounter()
         self.overlay = overlay
+        self.index = index
         self._result_nodes = pattern.result_nodes()
         self._needs_enum: dict[int, bool] = {}
         self._compute_needs_enum(pattern.root)
@@ -311,6 +336,15 @@ class Matcher:
         cached = memo.get(key)
         if cached is not None:
             return cached
+        if (
+            self.index is not None
+            and self.options.use_label_index
+            and self.index.document.contains(dnode)
+        ):
+            indexed = self._exists_below_indexed(pnode, dnode)
+            if indexed is not None:
+                memo[key] = indexed
+                return indexed
         descend_into_params = self.options.descend_into_parameters
         found = False
         explored: list[tuple[int, int]] = []
@@ -337,12 +371,62 @@ class Matcher:
         memo[key] = found
         return found
 
+    #: Selectivity cutoff for index probes below interior nodes.  From
+    #: the document root the bucket is never larger than the walk, but a
+    #: big bucket probed for a *small* subtree is a pessimisation — the
+    #: walk stops after |subtree| nodes, the bucket scan only after
+    #: |bucket| ancestor checks.  Subtree sizes are not maintained, so
+    #: below the root the index is used only for small (selective)
+    #: buckets.
+    SMALL_BUCKET = 64
+
+    def _index_worthwhile(
+        self, buckets: list[dict[int, Node]], dnode: Node
+    ) -> bool:
+        assert self.index is not None
+        if dnode is self.index.document.root:
+            return True
+        return sum(len(members) for members in buckets) <= self.SMALL_BUCKET
+
+    def _exists_below_indexed(
+        self, pnode: PatternNode, dnode: Node
+    ) -> Optional[bool]:
+        """Index-served existence check, or ``None`` when the test is
+        not index-answerable (wildcards) or the bucket is too big to
+        beat the walk.  Probes only the label's bucket instead of
+        walking the subtree."""
+        buckets = self._index_buckets(pnode)
+        if buckets is None or not self._index_worthwhile(buckets, dnode):
+            return None
+        for members in buckets:
+            for node in members.values():
+                self.counter.index_candidates += 1
+                if self._strictly_below(node, dnode) and self._can(
+                    pnode, node
+                ):
+                    return True
+        return False
+
     # -- phase 2: enumeration ------------------------------------------------------------
 
-    def _candidates(self, dnode: Node, edge: EdgeKind) -> Iterator[Node]:
+    def _candidates(
+        self, dnode: Node, edge: EdgeKind, pnode: Optional[PatternNode] = None
+    ) -> Iterator[Node]:
         if edge is EdgeKind.CHILD:
-            yield from dnode.children
+            for child in dnode.children:
+                self.counter.candidates_visited += 1
+                yield child
             return
+        if (
+            pnode is not None
+            and self.index is not None
+            and self.options.use_label_index
+            and self.index.document.contains(dnode)
+        ):
+            indexed = self._index_candidates(pnode, dnode)
+            if indexed is not None:
+                yield from indexed
+                return
         stack = list(reversed(dnode.children))
         while stack:
             node = stack.pop()
@@ -351,6 +435,71 @@ class Matcher:
             if node.is_function and not self.options.descend_into_parameters:
                 continue
             stack.extend(reversed(node.children))
+
+    def _index_candidates(
+        self, pnode: PatternNode, dnode: Node
+    ) -> Optional[list[Node]]:
+        """Descendant candidates for ``pnode`` under ``dnode``, by label.
+
+        Returns ``None`` when the step is not index-answerable (star
+        and variable tests match any data node, so the index would just
+        replay the walk) or when the bucket fails the selectivity
+        cutoff.  Candidates come back in node-id order — a deterministic
+        order; row sets are independent of it.
+        """
+        buckets = self._index_buckets(pnode)
+        if buckets is None or not self._index_worthwhile(buckets, dnode):
+            return None
+        hits: dict[int, Node] = {}
+        for members in buckets:
+            hits.update(members)
+        out = [
+            (node_id, node)
+            for node_id, node in hits.items()
+            if self._strictly_below(node, dnode)
+        ]
+        out.sort(key=lambda pair: pair[0])
+        self.counter.index_candidates += len(out)
+        return [node for _, node in out]
+
+    def _index_buckets(
+        self, pnode: PatternNode
+    ) -> Optional[list[dict[int, Node]]]:
+        assert self.index is not None
+        kind = pnode.kind
+        if kind is PatternKind.ELEMENT or kind is PatternKind.VALUE:
+            return [self.index.labels.get(pnode.label, {})]
+        if kind is PatternKind.FUNCTION:
+            names = pnode.function_names
+            if names is None:
+                return list(self.index.functions.values())
+            return [self.index.functions.get(name, {}) for name in names]
+        if pnode.is_or:
+            buckets: list[dict[int, Node]] = []
+            for alt in pnode.children:
+                sub = self._index_buckets(alt)
+                if sub is None:
+                    return None
+                buckets.extend(sub)
+            return buckets
+        return None  # STAR / VARIABLE: any data node qualifies
+
+    def _strictly_below(self, node: Node, dnode: Node) -> bool:
+        """Would the subtree walk from ``dnode`` reach ``node``?
+
+        Mirrors the walk's function-parameter barrier: parameter
+        subtrees are invisible to descendant steps unless the options
+        say otherwise.
+        """
+        descend = self.options.descend_into_parameters
+        ancestor = node.parent
+        while ancestor is not None:
+            if ancestor is dnode:
+                return True
+            if ancestor.is_function and not descend:
+                return False
+            ancestor = ancestor.parent
+        return False
 
     def _embed(
         self, pnode: PatternNode, dnode: Node, env: dict[str, str]
@@ -391,7 +540,7 @@ class Matcher:
             yield env, assigns
             return
         child = enum_children[index]
-        for cand in self._candidates(dnode, child.edge):
+        for cand in self._candidates(dnode, child.edge, child):
             if not self._quick_filter(child, cand):
                 continue
             for env2, a2 in self._embed(child, cand, env):

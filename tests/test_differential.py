@@ -8,8 +8,9 @@ workloads — documents x queries x fault plans — and asserts that
 
 * naive materialisation,
 * lazy NFQA,
-* lazy NFQA under the concurrent batch scheduler, and
-* lazy NFQA with the call-result cache
+* lazy NFQA under the concurrent batch scheduler,
+* lazy NFQA with the call-result cache, and
+* lazy NFQA with incremental relevance analysis
 
 all produce identical ``value_rows()``.  Fault plans are restricted to
 the equivalence-*preserving* ones: no faults, transient faults healed
@@ -38,6 +39,7 @@ CONFIGS = {
     "lazy": dict(strategy=Strategy.LAZY_NFQ),
     "lazy+concurrent": dict(strategy=Strategy.LAZY_NFQ, max_concurrency=8),
     "lazy+cache": dict(strategy=Strategy.LAZY_NFQ, call_cache=True),
+    "lazy+incremental": dict(strategy=Strategy.LAZY_NFQ, incremental=True),
 }
 
 # Equivalence-preserving fault plans: (registry wrapper, config overrides).
@@ -156,6 +158,48 @@ def test_concurrent_clock_never_exceeds_serial(world_seed, doc_seed):
         assert 0.0 <= record.simulated_time_s <= (
             outcome.metrics.serial_time_s + eps
         )
+
+
+@given(
+    world_seed=st.integers(min_value=0, max_value=10_000),
+    doc_seed=st.integers(min_value=0, max_value=50),
+    plan=st.sampled_from(FAULT_PLANS),
+)
+def test_incremental_matches_full_reevaluation(world_seed, doc_seed, plan):
+    """Incremental relevance analysis is invisible: same rows, same
+    invocation sequence (services *and* call sites, in order), same
+    relevant-call set — across random workloads and fault plans."""
+    world = SyntheticWorld(seed=world_seed)
+    query = world.sample_query(world.make_document(doc_seed), doc_seed)
+
+    def run(incremental: bool):
+        bus = ServiceBus(_wrapped_registry(world, plan))
+        config = EngineConfig(
+            strategy=Strategy.LAZY_NFQ,
+            incremental=incremental,
+            **_plan_config(plan),
+        )
+        engine = LazyQueryEvaluator(bus, config=config)
+        outcome = engine.evaluate(query, world.make_document(doc_seed))
+        # Documents are rebuilt identically, so node ids line up and
+        # the invocation log is comparable call site by call site.
+        log = [
+            (r.service_name, r.call_node_id, r.fault)
+            for r in bus.log.records
+        ]
+        return outcome, log
+
+    full, full_log = run(incremental=False)
+    inc, inc_log = run(incremental=True)
+    assert inc.value_rows() == full.value_rows()
+    assert inc_log == full_log
+    metrics = inc.metrics
+    assert (
+        metrics.relevance_cache_hits + metrics.queries_reevaluated
+        == metrics.relevance_evaluations
+    )
+    assert full.metrics.calls_invoked == metrics.calls_invoked
+    assert full.metrics.calls_frozen == metrics.calls_frozen
 
 
 def test_cache_hits_are_free_and_correct():

@@ -1,0 +1,208 @@
+"""LabelIndex maintenance: splice deltas keep it equal to a rebuild."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.axml import LabelIndex, SpliceDelta, build_document
+from repro.axml.builder import C, E, V
+from repro.axml.node import Activation
+
+
+def snapshot(index: LabelIndex) -> dict:
+    """The index's content as comparable primitives."""
+    return {
+        "labels": {
+            label: sorted(members)
+            for label, members in index.labels.items()
+        },
+        "functions": {
+            name: sorted(members)
+            for name, members in index.functions.items()
+        },
+    }
+
+
+def rebuilt_snapshot(index: LabelIndex) -> dict:
+    fresh = LabelIndex(index.document)
+    try:
+        return snapshot(fresh)
+    finally:
+        fresh.detach()
+
+
+def make_document():
+    return build_document(
+        E(
+            "hotels",
+            E(
+                "hotel",
+                E("name", V("Ritz")),
+                E("rating", C("getRating", V("Ritz"))),
+            ),
+            C("getHotels", V("all")),
+        )
+    )
+
+
+def test_build_covers_every_node():
+    doc = make_document()
+    index = LabelIndex(doc)
+    assert index.node_count() == doc.stats().total_nodes
+    assert {n.label for n in index.data_nodes("hotel")} == {"hotel"}
+    assert len(index.function_nodes("getRating")) == 1
+    assert len(index.function_nodes()) == 2
+    assert snapshot(index) == rebuilt_snapshot(index)
+
+
+def test_replace_call_updates_both_sides():
+    doc = make_document()
+    index = LabelIndex(doc)
+    (call,) = [c for c in doc.function_nodes() if c.label == "getRating"]
+    doc.replace_call(call, [V("5")])
+    assert index.function_nodes("getRating") == []
+    assert [n.label for n in index.data_nodes("5")] == ["5"]
+    assert index.splices_applied == 1
+    assert snapshot(index) == rebuilt_snapshot(index)
+
+
+def test_nested_splices_track_every_generation():
+    """A call returning calls returning calls: the index follows each
+    splice, including the parameters that leave with each call."""
+    doc = make_document()
+    index = LabelIndex(doc)
+    (outer,) = [c for c in doc.function_nodes() if c.label == "getHotels"]
+    doc.replace_call(
+        outer,
+        [E("hotel", E("rating", C("getRating", V("Carlton"))))],
+    )
+    # The outer call (and its "all" parameter) left; a nested call came.
+    assert index.function_nodes("getHotels") == []
+    assert "all" not in index.labels
+    assert len(index.function_nodes("getRating")) == 2
+    assert snapshot(index) == rebuilt_snapshot(index)
+
+    (nested,) = [
+        c for c in doc.function_nodes() if c.produced_by is not None
+    ]
+    doc.replace_call(nested, [V("3"), C("getRating", V("again"))])
+    assert len(index.function_nodes("getRating")) == 2
+    assert "Carlton" not in index.labels
+    assert snapshot(index) == rebuilt_snapshot(index)
+
+
+def test_frozen_calls_stay_indexed():
+    """Freezing is an activation flip, not a removal — the call remains
+    part of the document and of the index."""
+    doc = make_document()
+    index = LabelIndex(doc)
+    (call,) = [c for c in doc.function_nodes() if c.label == "getRating"]
+    call.activation = Activation.FROZEN
+    assert call in index.function_nodes("getRating")
+    assert snapshot(index) == rebuilt_snapshot(index)
+
+
+def test_insert_and_remove_subtree():
+    doc = make_document()
+    index = LabelIndex(doc)
+    new_hotel = E("hotel", E("name", V("Savoy")), C("getRating", V("Savoy")))
+    doc.insert_subtree(doc.root, new_hotel)
+    assert len(index.data_nodes("hotel")) == 2
+    assert len(index.function_nodes("getRating")) == 2
+    assert snapshot(index) == rebuilt_snapshot(index)
+
+    doc.remove_subtree(new_hotel)
+    assert len(index.data_nodes("hotel")) == 1
+    assert "Savoy" not in index.labels
+    assert len(index.function_nodes("getRating")) == 1
+    assert snapshot(index) == rebuilt_snapshot(index)
+
+
+def test_empty_result_forest_only_removes():
+    doc = make_document()
+    index = LabelIndex(doc)
+    (call,) = [c for c in doc.function_nodes() if c.label == "getHotels"]
+    doc.replace_call(call, [])
+    assert index.function_nodes("getHotels") == []
+    assert snapshot(index) == rebuilt_snapshot(index)
+
+
+def test_detach_stops_maintenance():
+    doc = make_document()
+    index = LabelIndex(doc)
+    index.detach()
+    (call,) = [c for c in doc.function_nodes() if c.label == "getRating"]
+    doc.replace_call(call, [V("5")])
+    # Stale on purpose: the detached index still lists the old call.
+    assert len(index.function_nodes("getRating")) == 1
+    assert "5" not in index.labels
+
+
+def test_splice_delta_iterates_whole_subtrees():
+    doc = make_document()
+    deltas: list[SpliceDelta] = []
+
+    class Recorder:
+        def call_removed(self, document, node):
+            pass
+
+        def calls_added(self, document, nodes):
+            pass
+
+        def splice(self, document, delta):
+            deltas.append(delta)
+
+    doc.add_observer(Recorder())
+    (call,) = [c for c in doc.function_nodes() if c.label == "getRating"]
+    doc.replace_call(call, [E("rated", V("5"))])
+    (delta,) = deltas
+    assert [n.label for n in delta.removed] == ["getRating"]
+    # iter_removed reaches the call's parameter subtree too.
+    assert sorted(n.label for n in delta.iter_removed()) == [
+        "Ritz",
+        "getRating",
+    ]
+    assert sorted(n.label for n in delta.iter_added()) == ["5", "rated"]
+    assert delta.parent is not None and delta.parent.label == "rating"
+
+
+def test_legacy_observers_are_not_called_for_splices():
+    """Observers without a ``splice`` method keep working untouched."""
+    doc = make_document()
+    events: list[str] = []
+
+    class Legacy:
+        def call_removed(self, document, node):
+            events.append(f"removed:{node.label}")
+
+        def calls_added(self, document, nodes):
+            events.append(f"added:{len(nodes)}")
+
+    doc.add_observer(Legacy())
+    (call,) = [c for c in doc.function_nodes() if c.label == "getRating"]
+    doc.replace_call(call, [C("getRating", V("x"))])
+    assert events == ["removed:getRating", "added:1"]
+
+
+@pytest.mark.parametrize("rounds", [1, 3])
+def test_random_invocation_sequence_equals_rebuild(rounds):
+    """Drive the document through every live call repeatedly; after
+    each splice the maintained index equals a from-scratch build."""
+    doc = make_document()
+    index = LabelIndex(doc)
+    counter = 0
+    for _ in range(rounds):
+        for call in list(doc.function_nodes()):
+            if not doc.contains(call):
+                continue
+            counter += 1
+            forest = (
+                [E("hotel", E("name", V(f"h{counter}")))]
+                if counter % 2
+                else [C("getRating", V(f"k{counter}"))]
+                if counter < 6
+                else [V(str(counter))]
+            )
+            doc.replace_call(call, forest)
+            assert snapshot(index) == rebuilt_snapshot(index)
+    assert index.splices_applied == counter
