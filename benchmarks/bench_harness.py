@@ -7,12 +7,25 @@ prints the series the paper reports, asserts the qualitative claim
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Besides the printed tables, every experiment emits a machine-readable
+``BENCH_<name>.json`` at the repository root (``print_table`` routes
+through :func:`emit_bench_json`; the experiment tag is read off the
+table title).  CI and the benches themselves assert against these
+files via :func:`read_bench_json`.
 """
 
 from __future__ import annotations
 
+import json
+import re
+from pathlib import Path
+
 from repro.lazy.config import EngineConfig
 from repro.lazy.engine import LazyQueryEvaluator
+
+#: Repository root — the ``BENCH_<name>.json`` files land here.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 # Profile mode (see conftest.py): when a sink is installed here, every
 # evaluate_workload() call is traced into it and the conftest prints an
@@ -48,8 +61,13 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
 
 
-def print_table(title, headers, rows, note=None):
-    """Aligned plain-text experiment table."""
+def print_table(title, headers, rows, note=None, bench=None):
+    """Aligned plain-text experiment table.
+
+    Also records the table into ``BENCH_<bench>.json`` (see
+    :func:`emit_bench_json`).  *bench* defaults to the experiment tag
+    parsed from the title (``"E11: ..."`` → ``e11``).
+    """
     widths = [len(h) for h in headers]
     text_rows = [[_fmt(cell) for cell in row] for row in rows]
     for row in text_rows:
@@ -64,6 +82,51 @@ def print_table(title, headers, rows, note=None):
         print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
     if note:
         print(f"({note})")
+    if bench is None:
+        tag = re.match(r"E(\d+)", title)
+        bench = f"e{tag.group(1)}" if tag else None
+    if bench is not None:
+        emit_bench_json(bench, title, headers, rows, note=note)
+
+
+def bench_json_path(bench):
+    """Where ``BENCH_<bench>.json`` lives (repo root)."""
+    return REPO_ROOT / f"BENCH_{bench}.json"
+
+
+def emit_bench_json(bench, table, headers, rows, note=None):
+    """Merge one table into ``BENCH_<bench>.json`` at the repo root.
+
+    The file maps table titles to ``{headers, rows, note}`` so every
+    test of a bench module contributes to the same document; existing
+    titles are overwritten, unknown ones kept.  Rows are JSON-native
+    (numbers stay numbers) so downstream assertions — the E12 bench,
+    the CI perf-smoke job — can consume them without re-parsing text.
+    """
+    path = bench_json_path(bench)
+    payload = {"bench": bench, "tables": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing.get("tables"), dict):
+                payload["tables"] = existing["tables"]
+        except (ValueError, OSError):
+            pass  # corrupt or unreadable: rewrite from scratch
+    payload["tables"][table] = {
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        "note": note,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench_json(bench):
+    """Load ``BENCH_<bench>.json``; raises if missing or malformed."""
+    payload = json.loads(bench_json_path(bench).read_text())
+    if payload.get("bench") != bench or "tables" not in payload:
+        raise ValueError(f"malformed BENCH_{bench}.json")
+    return payload
 
 
 def _fmt(cell):

@@ -156,6 +156,7 @@ def _build_config(args: argparse.Namespace, trace=None) -> EngineConfig:
         ),
         call_cache_ttl_s=getattr(args, "call_cache_ttl", None),
         incremental=getattr(args, "incremental", False),
+        shared_matching=getattr(args, "shared_matching", False),
         trace=trace,
     )
 
@@ -400,6 +401,15 @@ def build_parser() -> argparse.ArgumentParser:
         "through splices and re-run only the relevance queries a "
         "splice could have affected (--no-incremental restores the "
         "exhaustive per-round re-evaluation)",
+    )
+    ev.add_argument(
+        "--shared-matching",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="shared relevance matching: evaluate each round's "
+        "relevance queries together in one projected group pass "
+        "instead of one traversal per query (--no-shared-matching "
+        "restores the per-query oracle walker)",
     )
     ev.add_argument(
         "--trace",

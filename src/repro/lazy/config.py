@@ -142,6 +142,21 @@ class EngineConfig:
     re-evaluation stays available as the oracle.  Ignored by the
     non-lazy strategies and under ``push_mode=BINDINGS`` (overlay
     rows change match results without document events)."""
+    shared_matching: bool = False
+    """Shared relevance matching: compile the layer's relevance queries
+    into one :class:`~repro.pattern.multimatch.PatternGroup` and answer
+    them all in a single projected document pass per round, instead of
+    one full traversal per query (``repro.pattern.multimatch``).
+    Composes with ``incremental`` (the group pass only re-runs cache
+    misses, and the cache screens splices against the family's merged
+    footprint) and with ``use_fguide`` (the guide then seeds the
+    projection set; retrieved sets follow full NFQ semantics rather
+    than the guide's boolean residual filter, which can only shrink
+    them).  Never changes answers or invocation order; opt-in so the
+    per-query walker stays available as the oracle.  Ignored by the
+    non-lazy strategies and under ``push_mode=BINDINGS`` (overlay
+    lookups are keyed by the actual pattern node, which canonical
+    sharing would conflate)."""
     call_cache_ttl_s: Optional[float] = None
     """Expiry for memoized replies, in *simulated* seconds (None =
     no expiry).  Only meaningful with ``call_cache=True``."""
@@ -162,6 +177,7 @@ class EngineConfig:
         "use_threads",
         "call_cache",
         "incremental",
+        "shared_matching",
     )
 
     def __post_init__(self) -> None:
@@ -263,4 +279,6 @@ class EngineConfig:
             parts.append("cache")
         if self.incremental:
             parts.append("inc")
+        if self.shared_matching:
+            parts.append("shared")
         return "+".join(parts)

@@ -32,6 +32,7 @@ from ..axml.paths import call_position
 from ..obs.trace import (
     EVALUATE,
     FINAL_MATCH,
+    GROUP_PASS,
     INVOCATION,
     LAYER,
     PUSH,
@@ -43,6 +44,7 @@ from ..obs.trace import (
 )
 from ..schema import automata
 from ..pattern.match import Matcher, MatchCounter, MatchOptions, MatchSet
+from ..pattern.multimatch import PatternGroup
 from ..pattern.nodes import EdgeKind, PatternNode
 from ..pattern.pattern import TreePattern
 from ..schema.graphschema import LenientSatisfiability
@@ -236,6 +238,19 @@ class _EvaluationState:
             # — incremental mode stays off under pushed bindings.
             self.index = LabelIndex(document)
             self.rcache = RelevanceCache(document)
+        self._shared_index: Optional[LabelIndex] = None
+        if (
+            self.config.shared_matching
+            and self.config.strategy is not Strategy.NAIVE
+            and self.overlay is None
+            and self.index is None
+        ):
+            # The group pass keeps a label index of its own (projection
+            # sources + descendant steps) when incremental mode did not
+            # already build one.
+            self._shared_index = LabelIndex(document)
+        self._group: Optional[PatternGroup] = None
+        self._group_key: Optional[tuple] = None
         self._matchers: dict[int, Matcher] = {}
         self._nodes_by_uid = {n.uid: n for n in query.nodes()}
         self._pushed_cache: dict[int, PushedSubquery] = {}
@@ -257,6 +272,8 @@ class _EvaluationState:
             self.rcache.detach()
         if self.index is not None:
             self.index.detach()
+        if self._shared_index is not None:
+            self._shared_index.detach()
 
     def finalize_metrics(self, rows: MatchSet) -> None:
         metrics = self.metrics
@@ -556,8 +573,15 @@ class _EvaluationState:
         independence check for parallel rounds.
         """
         relevant: dict[int, tuple[Node, frozenset[int], frozenset[int]]] = {}
-        for rquery in self._layer_queries(layer):
-            calls = self._retrieve(rquery)
+        queries = self._layer_queries(layer)
+        shared: Optional[dict[int, list[Node]]] = None
+        if queries and self._shared_matching_active():
+            shared = self._retrieve_group(queries)
+        for rquery in queries:
+            if shared is not None:
+                calls = shared[rquery.target_uid]
+            else:
+                calls = self._retrieve(rquery)
             self.metrics.relevance_evaluations += 1
             for call in calls:
                 assert call.node_id is not None
@@ -569,6 +593,81 @@ class _EvaluationState:
                     retrievers = existing[2] | retrievers
                 relevant[call.node_id] = (call, targets, retrievers)
         return relevant
+
+    def _shared_matching_active(self) -> bool:
+        """Group passes replace per-query matching only where they are
+        provably equivalent: overlay rows (pushed bindings) are keyed by
+        the actual pattern node, which canonical sharing conflates."""
+        return self.config.shared_matching and self.overlay is None
+
+    def _retrieve_group(
+        self, queries: list[RelevanceQuery]
+    ) -> dict[int, list[Node]]:
+        """All queries' eligible calls out of one shared group pass.
+
+        Cache hits (incremental mode) are answered first; the remaining
+        misses run together in a single projected traversal, and their
+        fresh sets are stored back.  The liveness filter mirrors
+        :meth:`_retrieve`.
+        """
+        raw: dict[int, list[Node]] = {}
+        fresh: list[RelevanceQuery] = []
+        for rquery in queries:
+            cached = (
+                self.rcache.lookup(rquery) if self.rcache is not None else None
+            )
+            if cached is not None:
+                raw[rquery.target_uid] = cached
+            else:
+                fresh.append(rquery)
+        if fresh:
+            group = self._group_for(queries)
+            with self.tracer.span(
+                GROUP_PASS, members=len(queries), evaluated=len(fresh)
+            ) as span:
+                result = group.evaluate(
+                    self.document, keys=[q.target_uid for q in fresh]
+                )
+                if span is not None:
+                    span.tags["nodes_visited"] = result.nodes_visited
+                    span.tags["skipped_subtrees"] = result.skipped_subtrees
+                    span.tags["projected"] = result.projected
+            self.metrics.group_passes += 1
+            self.metrics.group_pass_nodes_visited += result.nodes_visited
+            self.metrics.projection_skipped_subtrees += result.skipped_subtrees
+            for rquery in fresh:
+                calls = result.match_sets[rquery.target_uid].distinct_nodes()
+                if self.rcache is not None:
+                    self.rcache.store(rquery, calls)
+                raw[rquery.target_uid] = calls
+        return {
+            uid: [
+                call
+                for call in calls
+                if call.activation is not Activation.FROZEN
+                and self.document.contains(call)
+            ]
+            for uid, calls in raw.items()
+        }
+
+    def _group_for(self, queries: list[RelevanceQuery]) -> PatternGroup:
+        """One compiled group per query family, reused across rounds.
+
+        Keyed by the family's (target, pattern-identity) tuples, so a
+        query rebuild (layer simplification, refinement, new names)
+        compiles a fresh group — same pinning rule as per-query
+        matchers."""
+        key = tuple((q.target_uid, id(q.pattern)) for q in queries)
+        if self._group is None or self._group_key != key:
+            self._group = PatternGroup(
+                {q.target_uid: q.pattern for q in queries},
+                options=self.evaluator.match_options,
+                counter=self.match_counter,
+                index=self.index if self.index is not None else self._shared_index,
+                call_source=self.fguide,
+            )
+            self._group_key = key
+        return self._group
 
     def _retrieve(self, rquery: RelevanceQuery) -> list[Node]:
         """The query's currently-eligible retrieved calls.
@@ -610,6 +709,18 @@ class _EvaluationState:
         matcher = self._matcher_for(rquery)
         return matcher.evaluate(self.document).distinct_nodes()
 
+    def _make_matcher(self, pattern: TreePattern) -> Matcher:
+        """The one construction site for per-query matchers (relevance
+        and final evaluation alike), so the options/counter/overlay/
+        index wiring cannot drift between call sites."""
+        return Matcher(
+            pattern,
+            options=self.evaluator.match_options,
+            counter=self.match_counter,
+            overlay=self.overlay,
+            index=self.index,
+        )
+
     def _matcher_for(self, rquery: RelevanceQuery) -> Matcher:
         """One compiled matcher per relevance query, reused across
         rounds.  Keyed by target and pinned to the pattern object, so a
@@ -619,13 +730,7 @@ class _EvaluationState:
         if matcher is not None and matcher.pattern is rquery.pattern:
             matcher.reset()
             return matcher
-        matcher = Matcher(
-            rquery.pattern,
-            options=self.evaluator.match_options,
-            counter=self.match_counter,
-            overlay=self.overlay,
-            index=self.index,
-        )
+        matcher = self._make_matcher(rquery.pattern)
         self._matchers[rquery.target_uid] = matcher
         return matcher
 
@@ -846,14 +951,7 @@ class _EvaluationState:
     # -- final evaluation -----------------------------------------------------------------------
 
     def final_evaluation(self) -> MatchSet:
-        matcher = Matcher(
-            self.query,
-            options=self.evaluator.match_options,
-            counter=self.match_counter,
-            overlay=self.overlay,
-            index=self.index,
-        )
-        return matcher.evaluate(self.document)
+        return self._make_matcher(self.query).evaluate(self.document)
 
 
 # -- F-guide residual verification (Section 6.2, "NFQ filtering") ------------------

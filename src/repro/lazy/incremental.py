@@ -108,6 +108,25 @@ class LabelFootprint:
         for child in node.children:
             self._add(child, child.edge, own_label)
 
+    def update(self, other: "LabelFootprint") -> None:
+        """Widen this footprint to also cover ``other`` (set union of
+        tests, parent constraints merged per test — ``None`` absorbs).
+
+        Used to maintain the cache's *group-level* footprint: a splice
+        disjoint from the union provably leaves every entry valid, so
+        one check dismisses it instead of one per entry.
+        """
+        for mine, theirs in (
+            (self._data, other._data),
+            (self._functions, other._functions),
+        ):
+            for key, parents in theirs.items():
+                if parents is None:
+                    mine[key] = None
+                else:
+                    for constraint in parents:
+                        self._note(mine, key, constraint)
+
     @staticmethod
     def _note(
         table: dict[Optional[str], Optional[set[str]]],
@@ -220,6 +239,7 @@ class RelevanceCache:
     def __init__(self, document: Document) -> None:
         self.document = document
         self._entries: dict[int, _CacheEntry] = {}
+        self._merged: Optional[LabelFootprint] = None
         self.hits = 0
         """Retrievals answered from a still-valid cached set."""
         self.reevaluations = 0
@@ -227,6 +247,9 @@ class RelevanceCache:
         self.invalidations = 0
         """Entries dropped because a splice touched their footprint."""
         self.splices_seen = 0
+        self.group_screens = 0
+        """Splices dismissed by the merged (group-level) footprint in
+        one check, without consulting any per-entry footprint."""
         document.add_observer(self)
 
     def detach(self) -> None:
@@ -242,6 +265,12 @@ class RelevanceCache:
 
     def splice(self, document: Document, delta: SpliceDelta) -> None:
         self.splices_seen += 1
+        if not self._entries:
+            return
+        if not self._merged_footprint().touches(delta):
+            # The union is untouched, so every member footprint is too.
+            self.group_screens += 1
+            return
         stale = [
             key
             for key, entry in self._entries.items()
@@ -249,9 +278,45 @@ class RelevanceCache:
         ]
         for key in stale:
             del self._entries[key]
+        if stale:
+            self._merged = None
         self.invalidations += len(stale)
 
+    def _merged_footprint(self) -> LabelFootprint:
+        """The union of all live entries' footprints, rebuilt lazily
+        whenever the entry set changes."""
+        merged = self._merged
+        if merged is None:
+            merged = LabelFootprint()
+            for entry in self._entries.values():
+                merged.update(entry.footprint)
+            self._merged = merged
+        return merged
+
     # -- the memoized retrieval ------------------------------------------------
+
+    def lookup(self, rquery: RelevanceQuery) -> Optional[list[Node]]:
+        """The cached call set, or ``None`` on a miss (stale pattern or
+        invalidated entry).  Counts a hit; pair with :meth:`store`."""
+        entry = self._entries.get(rquery.target_uid)
+        if entry is not None and entry.pattern is rquery.pattern:
+            self.hits += 1
+            return list(entry.calls)
+        return None
+
+    def store(self, rquery: RelevanceQuery, calls: Iterable[Node]) -> None:
+        """Record a freshly evaluated call set (counts a re-evaluation).
+
+        Split out of :meth:`retrieve` so a *shared* evaluation pass can
+        resolve all misses of a round in one group traversal and store
+        each member's result afterwards."""
+        self.reevaluations += 1
+        self._entries[rquery.target_uid] = _CacheEntry(
+            pattern=rquery.pattern,
+            footprint=LabelFootprint.from_pattern(rquery.pattern),
+            calls=tuple(calls),
+        )
+        self._merged = None
 
     def retrieve(
         self,
@@ -264,17 +329,11 @@ class RelevanceCache:
         since it was cached (those events do not change *embeddings*,
         only eligibility) — callers filter for liveness at read time.
         """
-        entry = self._entries.get(rquery.target_uid)
-        if entry is not None and entry.pattern is rquery.pattern:
-            self.hits += 1
-            return list(entry.calls)
-        self.reevaluations += 1
+        cached = self.lookup(rquery)
+        if cached is not None:
+            return cached
         calls = list(evaluate(rquery))
-        self._entries[rquery.target_uid] = _CacheEntry(
-            pattern=rquery.pattern,
-            footprint=LabelFootprint.from_pattern(rquery.pattern),
-            calls=tuple(calls),
-        )
+        self.store(rquery, calls)
         return calls
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

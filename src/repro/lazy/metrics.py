@@ -84,6 +84,16 @@ class Metrics:
     """Relevance retrievals that had to run the query (incremental
     mode; ``relevance_cache_hits + queries_reevaluated =
     relevance_evaluations``)."""
+    group_passes: int = 0
+    """Shared evaluation passes: rounds where all pending relevance
+    queries ran in one projected group traversal (shared matching)."""
+    group_pass_nodes_visited: int = 0
+    """Document nodes the group passes' subtree walks entered (shared
+    matching; compare with ``match_candidates_visited`` for the
+    per-query paths)."""
+    projection_skipped_subtrees: int = 0
+    """Subtrees the projection set let group passes skip wholesale —
+    no member query tests any label inside them (shared matching)."""
 
     @property
     def serial_time_s(self) -> float:
@@ -139,6 +149,12 @@ class Metrics:
                 f" rel-cache={self.relevance_cache_hits}"
                 f"/{self.queries_reevaluated} "
                 f"idx-cands={self.index_candidates}"
+            )
+        if self.group_passes:
+            text += (
+                f" group-passes={self.group_passes} "
+                f"group-visited={self.group_pass_nodes_visited} "
+                f"proj-skipped={self.projection_skipped_subtrees}"
             )
         return text
 

@@ -48,6 +48,7 @@ SATISFIABILITY = "satisfiability"
 LAYER = "layer"
 ROUND = "round"
 RELEVANCE_CHECK = "relevance_check"
+GROUP_PASS = "group_pass"
 BATCH = "batch"
 INVOCATION = "invocation"
 PUSH = "push"

@@ -10,6 +10,7 @@ from .match import (
     has_match,
     snapshot_result,
 )
+from .multimatch import GroupPassResult, LabelSummary, PatternGroup
 from .nodes import (
     EdgeKind,
     PatternKind,
@@ -26,11 +27,14 @@ from .pattern import LinearStep, TreePattern
 
 __all__ = [
     "EdgeKind",
+    "GroupPassResult",
+    "LabelSummary",
     "LinearStep",
     "MatchCounter",
     "MatchOptions",
     "MatchSet",
     "Matcher",
+    "PatternGroup",
     "PatternKind",
     "PatternNode",
     "PatternSyntaxError",

@@ -255,6 +255,27 @@ class Matcher:
         self._can_memo.clear()
         self._below_memo.clear()
 
+    # -- subclass hooks (repro.pattern.multimatch) ---------------------------
+
+    def _memo_key(self, pnode: PatternNode, dnode: Node) -> tuple[int, int]:
+        """Memo key for boolean facts about ``(pnode, dnode)``.
+
+        The group matcher overrides this with the pattern node's
+        *canonical* id so structurally equal branches of different
+        member patterns share one memo entry.  Sound because the
+        boolean phase never looks at variable names or result marks.
+        """
+        return (pnode.uid, id(dnode))
+
+    def _visit_ok(self, node: Node) -> bool:
+        """May a subtree walk enter ``node``?
+
+        The group matcher overrides this with a projection-set check:
+        a subtree containing no node any member pattern tests can be
+        skipped wholesale.  The plain matcher visits everything.
+        """
+        return True
+
     def _record_row(
         self,
         rows: dict[tuple[int, ...], ResultRow],
@@ -300,7 +321,7 @@ class Matcher:
         raise AssertionError(f"unexpected pattern kind {kind}")
 
     def _can(self, pnode: PatternNode, dnode: Node) -> bool:
-        key = (pnode.uid, id(dnode))
+        key = self._memo_key(pnode, dnode)
         cached = self._can_memo.get(key)
         if cached is not None:
             return cached
@@ -331,8 +352,7 @@ class Matcher:
         explored interior node is negative too.
         """
         memo = self._below_memo
-        uid = pnode.uid
-        key = (uid, id(dnode))
+        key = self._memo_key(pnode, dnode)
         cached = memo.get(key)
         if cached is not None:
             return cached
@@ -348,7 +368,7 @@ class Matcher:
         descend_into_params = self.options.descend_into_parameters
         found = False
         explored: list[tuple[int, int]] = []
-        stack = list(dnode.children)
+        stack = [c for c in dnode.children if self._visit_ok(c)]
         while stack:
             node = stack.pop()
             if self._can(pnode, node):
@@ -356,7 +376,7 @@ class Matcher:
                 break
             if node.is_function and not descend_into_params:
                 continue
-            node_key = (uid, id(node))
+            node_key = self._memo_key(pnode, node)
             sub = memo.get(node_key)
             if sub is True:
                 found = True
@@ -364,7 +384,7 @@ class Matcher:
             if sub is False:
                 continue
             explored.append(node_key)
-            stack.extend(node.children)
+            stack.extend(c for c in node.children if self._visit_ok(c))
         if not found:
             for node_key in explored:
                 memo[node_key] = False
@@ -427,14 +447,16 @@ class Matcher:
             if indexed is not None:
                 yield from indexed
                 return
-        stack = list(reversed(dnode.children))
+        stack = [c for c in reversed(dnode.children) if self._visit_ok(c)]
         while stack:
             node = stack.pop()
             self.counter.candidates_visited += 1
             yield node
             if node.is_function and not self.options.descend_into_parameters:
                 continue
-            stack.extend(reversed(node.children))
+            stack.extend(
+                c for c in reversed(node.children) if self._visit_ok(c)
+            )
 
     def _index_candidates(
         self, pnode: PatternNode, dnode: Node

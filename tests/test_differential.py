@@ -9,8 +9,10 @@ workloads — documents x queries x fault plans — and asserts that
 * naive materialisation,
 * lazy NFQA,
 * lazy NFQA under the concurrent batch scheduler,
-* lazy NFQA with the call-result cache, and
-* lazy NFQA with incremental relevance analysis
+* lazy NFQA with the call-result cache,
+* lazy NFQA with incremental relevance analysis, and
+* lazy NFQA with the shared multi-query matching pass (alone and
+  stacked on incremental analysis)
 
 all produce identical ``value_rows()``.  Fault plans are restricted to
 the equivalence-*preserving* ones: no faults, transient faults healed
@@ -40,6 +42,10 @@ CONFIGS = {
     "lazy+concurrent": dict(strategy=Strategy.LAZY_NFQ, max_concurrency=8),
     "lazy+cache": dict(strategy=Strategy.LAZY_NFQ, call_cache=True),
     "lazy+incremental": dict(strategy=Strategy.LAZY_NFQ, incremental=True),
+    "lazy+shared": dict(strategy=Strategy.LAZY_NFQ, shared_matching=True),
+    "lazy+shared+inc": dict(
+        strategy=Strategy.LAZY_NFQ, shared_matching=True, incremental=True
+    ),
 }
 
 # Equivalence-preserving fault plans: (registry wrapper, config overrides).
@@ -200,6 +206,45 @@ def test_incremental_matches_full_reevaluation(world_seed, doc_seed, plan):
     )
     assert full.metrics.calls_invoked == metrics.calls_invoked
     assert full.metrics.calls_frozen == metrics.calls_frozen
+
+
+@given(
+    world_seed=st.integers(min_value=0, max_value=10_000),
+    doc_seed=st.integers(min_value=0, max_value=50),
+    plan=st.sampled_from(FAULT_PLANS),
+)
+def test_shared_matching_matches_per_query(world_seed, doc_seed, plan):
+    """The shared group pass is invisible: same rows, same invocation
+    sequence (services, call sites *and* faults, in order), same
+    frozen-call count — across random workloads and fault plans."""
+    world = SyntheticWorld(seed=world_seed)
+    query = world.sample_query(world.make_document(doc_seed), doc_seed)
+
+    def run(shared: bool):
+        bus = ServiceBus(_wrapped_registry(world, plan))
+        config = EngineConfig(
+            strategy=Strategy.LAZY_NFQ,
+            shared_matching=shared,
+            **_plan_config(plan),
+        )
+        engine = LazyQueryEvaluator(bus, config=config)
+        outcome = engine.evaluate(query, world.make_document(doc_seed))
+        log = [
+            (r.service_name, r.call_node_id, r.fault)
+            for r in bus.log.records
+        ]
+        return outcome, log
+
+    per_query, pq_log = run(shared=False)
+    shared, sh_log = run(shared=True)
+    assert shared.value_rows() == per_query.value_rows()
+    assert sh_log == pq_log
+    assert shared.metrics.calls_invoked == per_query.metrics.calls_invoked
+    assert shared.metrics.calls_frozen == per_query.metrics.calls_frozen
+    # The flag must actually engage the group path (synthetic worlds
+    # never push bindings, so no overlay fallback applies).
+    if per_query.metrics.relevance_evaluations:
+        assert shared.metrics.group_passes > 0
 
 
 def test_cache_hits_are_free_and_correct():
