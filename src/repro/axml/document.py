@@ -60,6 +60,32 @@ class SpliceDelta:
         for root in self.added:
             yield from root.iter_subtree()
 
+    def scope_under(self, root: Node) -> Optional[Node]:
+        """The depth-1 attachment point of this splice below ``root``.
+
+        Returns the child of ``root`` whose subtree contains the
+        splice's parent — the one depth-1 subtree in which every added
+        and removed node lives — or ``None`` when the splice happened
+        directly under ``root`` itself (the removed and added roots are
+        then depth-1 subtrees in their own right) or when the parent is
+        detached from ``root`` entirely.  Answer maintenance keys its
+        per-subtree dirtiness on this node.
+        """
+        cursor = self.parent
+        if cursor is None or cursor is root:
+            return None
+        while cursor.parent is not None and cursor.parent is not root:
+            cursor = cursor.parent
+        return cursor if cursor.parent is root else None
+
+    def touched_services(self) -> frozenset[str]:
+        """Names of the services whose call nodes entered or left the
+        document in this splice (parameter subtrees included) — the
+        screen for scoped call-cache invalidation."""
+        names = {n.label for n in self.iter_removed() if n.is_function}
+        names.update(n.label for n in self.iter_added() if n.is_function)
+        return frozenset(names)
+
 
 @dataclasses.dataclass(frozen=True)
 class DocumentStats:

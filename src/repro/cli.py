@@ -157,6 +157,7 @@ def _build_config(args: argparse.Namespace, trace=None) -> EngineConfig:
         call_cache_ttl_s=getattr(args, "call_cache_ttl", None),
         incremental=getattr(args, "incremental", False),
         shared_matching=getattr(args, "shared_matching", False),
+        maintain_answers=getattr(args, "maintain_answers", False),
         trace=trace,
     )
 
@@ -410,6 +411,17 @@ def build_parser() -> argparse.ArgumentParser:
         "relevance queries together in one projected group pass "
         "instead of one traversal per query (--no-shared-matching "
         "restores the per-query oracle walker)",
+    )
+    ev.add_argument(
+        "--maintain-answers",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="delta-driven answer maintenance for continuous queries: "
+        "materialise the standing result per depth-1 subtree and "
+        "re-match only the subtrees a mutation touched, skipping the "
+        "engine when the cached answer is provably current "
+        "(--no-maintain-answers restores full re-evaluation, the "
+        "differential oracle)",
     )
     ev.add_argument(
         "--trace",

@@ -1,5 +1,6 @@
 """Lazy query evaluation: relevance, sequencing, typing, guides, pushing."""
 
+from .answers import AnswerCache, ServiceTouchTracker
 from .config import EngineConfig, FaultPolicy, Strategy, TypingMode
 from .continuous import ContinuousQuery
 from .engine import EvaluationOutcome, LazyQueryEvaluator
@@ -24,6 +25,7 @@ from .relevance import (
 )
 
 __all__ = [
+    "AnswerCache",
     "BindingsOverlay",
     "ComparisonRow",
     "ContinuousQuery",
@@ -42,6 +44,7 @@ __all__ = [
     "RelevanceKind",
     "RelevanceQuery",
     "RoundRecord",
+    "ServiceTouchTracker",
     "Strategy",
     "TypingMode",
     "build_nfqs",

@@ -157,6 +157,21 @@ class EngineConfig:
     non-lazy strategies and under ``push_mode=BINDINGS`` (overlay
     lookups are keyed by the actual pattern node, which canonical
     sharing would conflate)."""
+    maintain_answers: bool = False
+    """Delta-driven answer maintenance for continuous queries
+    (``repro.lazy.answers``): materialise the standing query's snapshot
+    result per depth-1 document subtree, screen every splice against the
+    query's label footprint, and on refresh re-match only the dirty
+    subtrees — splicing added/retracted rows into the cached
+    :class:`~repro.pattern.match.MatchSet` instead of re-running the
+    final match from scratch.  When every delta since the last refresh
+    was screened clean against the family's guard footprint, the refresh
+    skips the engine entirely.  Never changes answers or invocation
+    order; opt-in so full re-evaluation stays available as the
+    differential oracle.  Ignored under ``push_mode=BINDINGS`` (overlay
+    rows change match results without document events) and outside
+    :class:`~repro.lazy.continuous.ContinuousQuery` (one-shot
+    evaluations have no cache to maintain)."""
     call_cache_ttl_s: Optional[float] = None
     """Expiry for memoized replies, in *simulated* seconds (None =
     no expiry).  Only meaningful with ``call_cache=True``."""
@@ -178,6 +193,7 @@ class EngineConfig:
         "call_cache",
         "incremental",
         "shared_matching",
+        "maintain_answers",
     )
 
     def __post_init__(self) -> None:
@@ -281,4 +297,6 @@ class EngineConfig:
             parts.append("inc")
         if self.shared_matching:
             parts.append("shared")
+        if self.maintain_answers:
+            parts.append("ans")
         return "+".join(parts)

@@ -30,6 +30,7 @@ from ..axml.index import LabelIndex
 from ..axml.node import Activation, Node
 from ..axml.paths import call_position
 from ..obs.trace import (
+    ANSWER_MAINT,
     EVALUATE,
     FINAL_MATCH,
     GROUP_PASS,
@@ -54,6 +55,7 @@ from ..services.registry import ServiceBus, ServiceCall
 from ..services.resilience import InvocationPolicy, ResilientOutcome
 from ..services.scheduler import CallCache, SchedulerPolicy
 from ..services.service import PushMode
+from .answers import AnswerCache
 from .config import EngineConfig, FaultPolicy, Strategy, TypingMode
 from .fguide import FGuide
 from .incremental import RelevanceCache
@@ -142,20 +144,40 @@ class LazyQueryEvaluator:
 
     # -- public API ------------------------------------------------------------
 
-    def evaluate(self, query: TreePattern, document: Document) -> EvaluationOutcome:
+    def evaluate(
+        self,
+        query: TreePattern,
+        document: Document,
+        answer_cache: Optional[AnswerCache] = None,
+    ) -> EvaluationOutcome:
         """Compute the *full result* of ``query`` over ``document``.
 
         The document is mutated in place (calls are invoked and replaced
         by their results); copy it first if you need the original.
+
+        ``answer_cache`` (attached by
+        :class:`~repro.lazy.continuous.ContinuousQuery` under
+        ``maintain_answers``) replaces the final full match with
+        dirty-subtree re-matching over the maintained rows; it must be
+        pinned to exactly this query and document.
         """
         tracer = tracer_for(
             self.config.trace, sim_clock=lambda: self.bus.clock_s
         )
+        if answer_cache is not None and (
+            answer_cache.query is not query
+            or answer_cache.document is not document
+        ):
+            raise ValueError(
+                "answer_cache is pinned to a different query or document"
+            )
         if self.config.call_cache and self.bus.cache is None:
             # Cache state lives on the bus (like breaker state), so it
             # persists across evaluations sharing a ServiceBus.
             self.bus.cache = CallCache(ttl_s=self.config.call_cache_ttl_s)
-        state = _EvaluationState(self, query, document, tracer)
+        state = _EvaluationState(
+            self, query, document, tracer, answer_cache=answer_cache
+        )
         started = time.perf_counter()
         try:
             with tracer.span(
@@ -206,6 +228,7 @@ class _EvaluationState:
         query: TreePattern,
         document: Document,
         tracer: AnyTracer,
+        answer_cache: Optional[AnswerCache] = None,
     ) -> None:
         self.evaluator = evaluator
         self.config = evaluator.config
@@ -238,6 +261,19 @@ class _EvaluationState:
             # — incremental mode stays off under pushed bindings.
             self.index = LabelIndex(document)
             self.rcache = RelevanceCache(document)
+        self.answer_cache: Optional[AnswerCache] = None
+        self._answer_counters: dict[str, int] = {}
+        self._maintained_rows = 0
+        if (
+            answer_cache is not None
+            and self.config.maintain_answers
+            and self.overlay is None
+        ):
+            # Overlay rows change match results without document events
+            # (same argument as for the relevance cache), so maintained
+            # answers stay off under pushed bindings.
+            self.answer_cache = answer_cache
+            self._answer_counters = answer_cache.counters()
         self._shared_index: Optional[LabelIndex] = None
         if (
             self.config.shared_matching
@@ -285,6 +321,20 @@ class _EvaluationState:
         if self.rcache is not None:
             metrics.relevance_cache_hits = self.rcache.hits
             metrics.queries_reevaluated = self.rcache.reevaluations
+        if self.answer_cache is not None:
+            before = self._answer_counters
+            after = self.answer_cache.counters()
+            metrics.maintained_rows = self._maintained_rows
+            metrics.answer_cache_hits = after["hits"] - before["hits"]
+            metrics.answer_scope_rematches = (
+                after["scope_rematches"] - before["scope_rematches"]
+            )
+            metrics.rows_respliced = (
+                after["rows_added"]
+                - before["rows_added"]
+                + after["rows_retracted"]
+                - before["rows_retracted"]
+            )
         for record in self.bus.log.records[self._log_start :]:
             metrics.bytes_sent += record.request_bytes
             metrics.bytes_received += record.response_bytes
@@ -951,7 +1001,23 @@ class _EvaluationState:
     # -- final evaluation -----------------------------------------------------------------------
 
     def final_evaluation(self) -> MatchSet:
-        return self._make_matcher(self.query).evaluate(self.document)
+        cache = self.answer_cache
+        if cache is None:
+            return self._make_matcher(self.query).evaluate(self.document)
+        with self.tracer.span(ANSWER_MAINT, seeded=cache.seeded) as span:
+            before_full = cache.full_matches
+            before_scopes = cache.scope_rematches
+            rows = cache.rows()
+            if before_full == cache.full_matches:
+                # Served by maintenance (hit or dirty-scope resplice),
+                # not by a from-scratch match of the whole document.
+                self._maintained_rows = len(rows)
+            if span is not None:
+                span.tags["rows"] = len(rows)
+                span.tags["scope_rematches"] = (
+                    cache.scope_rematches - before_scopes
+                )
+        return rows
 
 
 # -- F-guide residual verification (Section 6.2, "NFQ filtering") ------------------

@@ -127,6 +127,14 @@ class LabelFootprint:
                     for constraint in parents:
                         self._note(mine, key, constraint)
 
+    def note_any_function(self) -> None:
+        """Widen: any function node, under any parent, now touches the
+        footprint.  The answer-maintenance guard uses this for the
+        strategies whose relevance criterion is "every call counts"
+        (NAIVE materialises everything), where a screened splice must
+        still never hide an added call."""
+        self._functions[None] = None
+
     @staticmethod
     def _note(
         table: dict[Optional[str], Optional[set[str]]],
@@ -299,10 +307,19 @@ class RelevanceCache:
         """The cached call set, or ``None`` on a miss (stale pattern or
         invalidated entry).  Counts a hit; pair with :meth:`store`."""
         entry = self._entries.get(rquery.target_uid)
-        if entry is not None and entry.pattern is rquery.pattern:
-            self.hits += 1
-            return list(entry.calls)
-        return None
+        if entry is None:
+            return None
+        if entry.pattern is not rquery.pattern:
+            # The query family was rebuilt (layer simplification or
+            # refinement): this entry can never hit again, yet left in
+            # place its dead footprint would keep widening the merged
+            # screen and keep eating per-entry checks on every splice.
+            # Evict it and let the merged footprint rebuild.
+            del self._entries[rquery.target_uid]
+            self._merged = None
+            return None
+        self.hits += 1
+        return list(entry.calls)
 
     def store(self, rquery: RelevanceQuery, calls: Iterable[Node]) -> None:
         """Record a freshly evaluated call set (counts a re-evaluation).

@@ -94,6 +94,19 @@ class Metrics:
     projection_skipped_subtrees: int = 0
     """Subtrees the projection set let group passes skip wholesale —
     no member query tests any label inside them (shared matching)."""
+    maintained_rows: int = 0
+    """Result rows served from the maintained answer at final match —
+    without a full re-match of the document (answer maintenance)."""
+    rows_respliced: int = 0
+    """Rows spliced into or out of the maintained answer during this
+    evaluation (answer maintenance: added + retracted)."""
+    answer_cache_hits: int = 0
+    """Final matches answered entirely from the maintained answer — no
+    scope was dirty, not even a scoped re-match ran (answer
+    maintenance)."""
+    answer_scope_rematches: int = 0
+    """Depth-1 document subtrees re-matched to bring the maintained
+    answer current (answer maintenance)."""
 
     @property
     def serial_time_s(self) -> float:
@@ -155,6 +168,18 @@ class Metrics:
                 f" group-passes={self.group_passes} "
                 f"group-visited={self.group_pass_nodes_visited} "
                 f"proj-skipped={self.projection_skipped_subtrees}"
+            )
+        if (
+            self.maintained_rows
+            or self.rows_respliced
+            or self.answer_cache_hits
+            or self.answer_scope_rematches
+        ):
+            text += (
+                f" ans-rows={self.maintained_rows} "
+                f"respliced={self.rows_respliced} "
+                f"ans-hits={self.answer_cache_hits} "
+                f"scope-rematches={self.answer_scope_rematches}"
             )
         return text
 

@@ -18,6 +18,9 @@ pruning, E5 layering): every phase of an evaluation —
                                backoff / breaker / cache-hit events)
             push              (computing the pushed subquery)
       final_match             (conventional evaluation at the end)
+        answer_maint          (serving the final match from the
+                               maintained answer: dirty-subtree
+                               re-matching + row splicing)
 
 — becomes a :class:`Span` carrying *wall-clock* timings (real CPU cost
 of being lazy) and *simulated-clock* timings (the bus clock: service
@@ -53,6 +56,7 @@ BATCH = "batch"
 INVOCATION = "invocation"
 PUSH = "push"
 FINAL_MATCH = "final_match"
+ANSWER_MAINT = "answer_maint"
 
 # Event names emitted by the service bus inside an ``invocation`` span.
 EVENT_ATTEMPT = "attempt"

@@ -25,7 +25,7 @@ document nodes by the benchmarks, so it works in two phases:
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Iterator, Optional, Protocol
+from typing import Iterable, Iterator, Optional, Protocol, Sequence
 
 from ..axml.document import Document
 from ..axml.index import LabelIndex
@@ -142,6 +142,56 @@ class MatchSet:
     def __bool__(self) -> bool:
         return bool(self.rows)
 
+    @staticmethod
+    def row_key(row: ResultRow) -> tuple[int, ...]:
+        """Stable identity of a row: the result nodes' document ids.
+
+        Node ids are allocated monotonically and never reused, so the
+        key survives removals — the answer-maintenance layer uses it to
+        recognise rows across splices (bindings are tie-broken by the
+        first witnessing embedding and are *not* part of identity).
+        """
+        return tuple(
+            -1 if node.node_id is None else node.node_id
+            for node in row.nodes
+        )
+
+    @classmethod
+    def compose(
+        cls, pattern: TreePattern, row_groups: Iterable[list[ResultRow]]
+    ) -> "MatchSet":
+        """Union of per-scope row groups, deduplicated by row identity.
+
+        The decomposition answer maintenance relies on (see
+        :meth:`Matcher.evaluate_scoped`): the full snapshot result is
+        the composition of the scoped results over all depth-1 subtrees.
+        First occurrence wins, preserving group order.
+        """
+        rows: list[ResultRow] = []
+        seen: set[tuple[int, ...]] = set()
+        for group in row_groups:
+            for row in group:
+                key = cls.row_key(row)
+                if key not in seen:
+                    seen.add(key)
+                    rows.append(row)
+        return cls(pattern, rows)
+
+    def spliced(
+        self,
+        retracted: "set[tuple[int, ...]]",
+        added: list[ResultRow],
+    ) -> "MatchSet":
+        """A new result with ``retracted`` row keys removed and ``added``
+        rows appended — the splice primitive of answer maintenance."""
+        if not retracted and not added:
+            return self
+        rows = [
+            row for row in self.rows if self.row_key(row) not in retracted
+        ]
+        rows.extend(added)
+        return MatchSet(self.pattern, rows)
+
     def distinct_nodes(self, position: int = 0) -> list[Node]:
         """Distinct document nodes bound at one result position."""
         seen: dict[int, Node] = {}
@@ -179,6 +229,9 @@ class Matcher:
         self._compute_needs_enum(pattern.root)
         self._can_memo: dict[tuple[int, int], bool] = {}
         self._below_memo: dict[tuple[int, int], bool] = {}
+        #: When set to ``(root, child)``, the walk below ``root`` is
+        #: restricted to the single depth-1 subtree under ``child``.
+        self._scope: Optional[tuple[Node, Node]] = None
 
     # -- public API --------------------------------------------------------
 
@@ -194,6 +247,26 @@ class Matcher:
         for env, assigns in self._embed(self.pattern.root, root, {}):
             self._record_row(rows, env, assigns)
         return MatchSet(self.pattern, list(rows.values()))
+
+    def evaluate_scoped(self, document: Document, scope: Node) -> MatchSet:
+        """Snapshot result restricted to one depth-1 document subtree.
+
+        The pattern root still maps to the document root, but below the
+        root the walk may only enter ``scope`` (which must be a direct
+        child of the root).  When the pattern root has exactly one
+        child, every embedding's non-root images are confined to a
+        single depth-1 subtree, so the full snapshot result is exactly
+        the composition (:meth:`MatchSet.compose`) of the scoped
+        results over all root children — the invariant the
+        answer-maintenance layer (``repro.lazy.answers``) splices over.
+        """
+        if scope.parent is not document.root:
+            raise ValueError("scope must be a direct child of the document root")
+        self._scope = (document.root, scope)
+        try:
+            return self.evaluate_at(document.root)
+        finally:
+            self._scope = None
 
     def evaluate_forest(
         self, forest: Iterable[Node], anchor_edge: EdgeKind = EdgeKind.CHILD
@@ -276,6 +349,18 @@ class Matcher:
         """
         return True
 
+    def _children_of(self, dnode: Node) -> "Sequence[Node]":
+        """The children visible to the walk under the active scope.
+
+        Everywhere the matcher steps from a node to its children it
+        must go through this hook, so :meth:`evaluate_scoped` can
+        narrow the scoped root to a single depth-1 subtree.
+        """
+        scope = self._scope
+        if scope is not None and dnode is scope[0]:
+            return (scope[1],)
+        return dnode.children
+
     def _record_row(
         self,
         rows: dict[tuple[int, ...], ResultRow],
@@ -341,7 +426,9 @@ class Matcher:
         if self.overlay is not None and self.overlay.lookup(dnode, child):
             return True
         if child.edge is EdgeKind.CHILD:
-            return any(self._can(child, cand) for cand in dnode.children)
+            return any(
+                self._can(child, cand) for cand in self._children_of(dnode)
+            )
         return self._exists_below(child, dnode)
 
     def _exists_below(self, pnode: PatternNode, dnode: Node) -> bool:
@@ -368,7 +455,7 @@ class Matcher:
         descend_into_params = self.options.descend_into_parameters
         found = False
         explored: list[tuple[int, int]] = []
-        stack = [c for c in dnode.children if self._visit_ok(c)]
+        stack = [c for c in self._children_of(dnode) if self._visit_ok(c)]
         while stack:
             node = stack.pop()
             if self._can(pnode, node):
@@ -433,7 +520,7 @@ class Matcher:
         self, dnode: Node, edge: EdgeKind, pnode: Optional[PatternNode] = None
     ) -> Iterator[Node]:
         if edge is EdgeKind.CHILD:
-            for child in dnode.children:
+            for child in self._children_of(dnode):
                 self.counter.candidates_visited += 1
                 yield child
             return
@@ -447,7 +534,9 @@ class Matcher:
             if indexed is not None:
                 yield from indexed
                 return
-        stack = [c for c in reversed(dnode.children) if self._visit_ok(c)]
+        stack = [
+            c for c in reversed(self._children_of(dnode)) if self._visit_ok(c)
+        ]
         while stack:
             node = stack.pop()
             self.counter.candidates_visited += 1
@@ -511,15 +600,28 @@ class Matcher:
 
         Mirrors the walk's function-parameter barrier: parameter
         subtrees are invisible to descendant steps unless the options
-        say otherwise.
+        say otherwise.  Under an active scope the walk leaves the
+        scoped root through exactly one child, so an index-served
+        candidate only counts when the path to it passes through that
+        child — otherwise the index would smuggle in nodes the scoped
+        walk cannot reach.
         """
         descend = self.options.descend_into_parameters
+        scope = self._scope
+        prev = node
         ancestor = node.parent
         while ancestor is not None:
             if ancestor is dnode:
+                if (
+                    scope is not None
+                    and ancestor is scope[0]
+                    and prev is not scope[1]
+                ):
+                    return False
                 return True
             if ancestor.is_function and not descend:
                 return False
+            prev = ancestor
             ancestor = ancestor.parent
         return False
 

@@ -260,12 +260,13 @@ class _MemberMatcher(Matcher):
                     # every child.
                     cached = any(
                         self._can(child, cand)
-                        for cand in dnode.children
+                        for cand in self._children_of(dnode)
                         if self._shared_prefilter(child, cand)
                     )
                 else:
                     cached = any(
-                        self._can(child, cand) for cand in dnode.children
+                        self._can(child, cand)
+                        for cand in self._children_of(dnode)
                     )
             else:
                 cached = self._exists_below(child, dnode)
@@ -441,14 +442,29 @@ class PatternGroup:
         self,
         document: Document,
         keys: Optional[Sequence[Hashable]] = None,
+        scope: Optional[Node] = None,
     ) -> GroupPassResult:
         """Evaluate the selected members (default: all) in one pass.
 
         One projection set and one family of memo tables serve every
         selected member; the tables are cleared first, so the pass is
         correct on whatever state the document is in now.
+
+        ``scope`` (a direct child of the document root) restricts the
+        whole pass to one depth-1 subtree, mirroring
+        :meth:`~repro.pattern.match.Matcher.evaluate_scoped` — every
+        member and every shared memo sees the same scope, and the
+        tables are cleared afterwards so no scoped fact leaks into a
+        later unscoped pass.
         """
         selected = list(self._members) if keys is None else list(keys)
+        scope_pair = None
+        if scope is not None:
+            if scope.parent is not document.root:
+                raise ValueError(
+                    "scope must be a direct child of the document root"
+                )
+            scope_pair = (document.root, scope)
         self._can_memo.clear()
         self._below_memo.clear()
         self._cond_memo.clear()
@@ -459,12 +475,24 @@ class PatternGroup:
         self._candidate_reuses = 0
         self._projected = self._compute_projection(document, selected)
         try:
+            for member in self._members.values():
+                member._scope = scope_pair
             match_sets = {
                 key: self._members[key].evaluate(document) for key in selected
             }
         finally:
             projected = self._projected
             self._projected = None
+            for member in self._members.values():
+                member._scope = None
+            if scope_pair is not None:
+                # Scoped boolean facts must not survive into an
+                # unscoped (or differently scoped) pass.
+                self._can_memo.clear()
+                self._below_memo.clear()
+                self._cond_memo.clear()
+                self._shared_can_memo.clear()
+                self._cand_memo.clear()
         return GroupPassResult(
             match_sets=match_sets,
             nodes_visited=self._nodes_visited,

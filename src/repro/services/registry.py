@@ -17,7 +17,7 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import warnings
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from ..axml.node import Node
 from ..axml.xmlio import forest_size_bytes, serialized_size
@@ -188,6 +188,7 @@ class ServiceBus:
         self.breakers: dict[str, CircuitBreaker] = {}
         self.clock_s: float = 0.0
         self.cache = cache
+        self._cache_flush_versions: dict[tuple[int, str], int] = {}
 
     def invalidate_cache(self, service: Optional[str] = None) -> int:
         """Drop memoized call replies (all, or one service's).
@@ -199,6 +200,37 @@ class ServiceBus:
         if self.cache is None:
             return 0
         return self.cache.invalidate(service)
+
+    def invalidate_cache_scoped(
+        self, document, touched: Mapping[str, int]
+    ) -> int:
+        """Drop memoized replies of exactly the touched services, once
+        per document version.
+
+        ``touched`` maps service names to the latest version of
+        ``document`` at which one of their call nodes entered or left it
+        (a :class:`~repro.lazy.answers.ServiceTouchTracker` drain).
+        Memoized replies are functions of their parameters (the
+        :class:`~repro.services.scheduler.CallCache` opt-in contract),
+        so a mutation can only stale a service's entries by changing the
+        world *behind* the service — which standing queries approximate
+        by the service's calls being touched.  The per-(document,
+        service) flushed-version mark makes the drop idempotent: when
+        several standing queries share one bus, the first refresh after
+        a mutation flushes the touched services and later refreshes do
+        not re-evict what other queries just re-memoized.  Returns how
+        many entries were dropped."""
+        if self.cache is None or not touched:
+            return 0
+        dropped = 0
+        doc_id = id(document)
+        for service, version in touched.items():
+            mark = self._cache_flush_versions.get((doc_id, service))
+            if mark is not None and mark >= version:
+                continue
+            self._cache_flush_versions[(doc_id, service)] = version
+            dropped += self.cache.invalidate(service)
+        return dropped
 
     def breaker_for(
         self, service_name: str, policy: CircuitBreakerPolicy

@@ -7,7 +7,9 @@ from repro.lazy.continuous import ContinuousQuery
 from repro.lazy.engine import LazyQueryEvaluator
 from repro.pattern.parse import parse_pattern
 from repro.services.catalog import TableService
-from repro.services.registry import ServiceBus, ServiceRegistry
+from repro.services.registry import ServiceBus, ServiceCall, ServiceRegistry
+from repro.services.scheduler import CallCache
+from repro.services.service import PushMode
 
 
 def make_world():
@@ -102,3 +104,187 @@ def test_lazy_eager_flag():
     assert standing.refresh_count == 0
     standing.refresh()
     assert standing.peek() is not None
+
+
+# -- scoped call-cache invalidation (the shared-bus bugfix) ------------------
+
+
+def test_scoped_invalidation_is_once_per_document_version():
+    registry = ServiceRegistry(
+        [TableService("getItems", {"k1": [E("item")]})]
+    )
+    cache = CallCache()
+    bus = ServiceBus(registry, cache=cache)
+    document = build_document(E("feed"))
+    bus.invoke(ServiceCall("getItems", (value("k1"),)))
+    assert len(cache) == 1
+    assert bus.invalidate_cache_scoped(document, {"getItems": 3}) == 1
+    bus.invoke(ServiceCall("getItems", (value("k1"),)))  # re-memoized
+    # The same touch drained by a sibling standing query drops nothing.
+    assert bus.invalidate_cache_scoped(document, {"getItems": 3}) == 0
+    assert len(cache) == 1
+    # Untouched services are never dropped; later touches flush again.
+    assert bus.invalidate_cache_scoped(document, {"other": 9}) == 0
+    assert bus.invalidate_cache_scoped(document, {"getItems": 4}) == 1
+
+
+def test_sibling_queries_no_longer_evict_each_others_cache():
+    # Regression: refresh used to call invalidate_cache() — wiping the
+    # *whole* shared CallCache for every standing query on the bus.
+    registry = ServiceRegistry(
+        [
+            TableService(
+                "getItems",
+                {"k1": [E("item", E("tag", V("hot")),
+                          E("title", V("remote-1")))]},
+            ),
+            TableService("getChain", {"c1": [C("getItems", V("k1"))]}),
+        ]
+    )
+    evaluator = LazyQueryEvaluator(
+        ServiceBus(registry),
+        config=EngineConfig(strategy=Strategy.LAZY_NFQ, call_cache=True),
+    )
+    query = parse_pattern('/feed/item[tag="hot"]/title/$T')
+    doc1 = build_document(
+        E("feed", E("item", E("tag", V("hot")), E("title", V("one"))),
+          C("getItems", V("k1")))
+    )
+    standing1 = ContinuousQuery(evaluator, query, doc1)
+    assert standing1.value_rows() == {("one",), ("remote-1",)}
+    cache = evaluator.bus.cache
+    assert cache is not None and len(cache) == 1 and cache.hits == 0
+
+    doc2 = build_document(
+        E("feed", E("item", E("tag", V("hot")), E("title", V("two"))))
+    )
+    standing2 = ContinuousQuery(evaluator, query, doc2)
+    # standing2's document evolves; its refresh drops only the services
+    # the mutation's new calls actually name (getChain) — getItems'
+    # memoized reply survives and the call getChain's reply brings in
+    # is answered from it.
+    doc2.insert_subtree(doc2.root, call("getChain", value("c1")))
+    assert standing2.value_rows() == {("two",), ("remote-1",)}
+    assert cache.hits == 1
+    # Data-only mutations drop nothing at all.
+    entries_before = len(cache)
+    doc2.insert_subtree(doc2.root, element("note", value("n")))
+    standing2.refresh()
+    assert len(cache) == entries_before
+
+
+# -- maintained answers ------------------------------------------------------
+
+
+def make_maintained_world(**overrides):
+    document = build_document(
+        E("feed", E("item", E("tag", V("hot")), E("title", V("first"))))
+    )
+    registry = ServiceRegistry(
+        [
+            TableService(
+                "getItems",
+                {
+                    "k1": [
+                        E("item", E("tag", V("hot")), E("title", V("remote-1")))
+                    ],
+                    "k2": [
+                        E("item", E("tag", V("cold")), E("title", V("remote-2")))
+                    ],
+                },
+            ),
+            TableService("getMeta", {"m": [E("meta", V("z"))]}),
+        ]
+    )
+    config = EngineConfig(
+        strategy=Strategy.LAZY_NFQ, maintain_answers=True, **overrides
+    )
+    evaluator = LazyQueryEvaluator(ServiceBus(registry), config=config)
+    query = parse_pattern('/feed/item[tag="hot"]/title/$T')
+    return document, evaluator, query
+
+
+def test_maintained_refresh_skips_the_engine_on_screened_mutations():
+    document, evaluator, query = make_maintained_world()
+    standing = ContinuousQuery(evaluator, query, document)
+    assert standing.answer_cache is not None
+    assert standing.value_rows() == {("first",)}
+    assert standing.refresh_count == 1
+    document.insert_subtree(document.root, element("footer", value("x")))
+    assert standing.is_stale
+    assert standing.value_rows() == {("first",)}
+    assert standing.engine_skips == 1
+    assert standing.refresh_count == 1  # the engine never ran
+
+
+def test_maintained_rows_track_the_full_reevaluation_oracle():
+    document, evaluator, query = make_maintained_world()
+    standing = ContinuousQuery(evaluator, query, document)
+    mutations = [
+        lambda d: d.insert_subtree(
+            d.root,
+            element("item", element("tag", value("hot")),
+                    element("title", value("second"))),
+        ),
+        lambda d: d.insert_subtree(d.root, call("getItems", value("k1"))),
+        lambda d: d.insert_subtree(d.root, call("getItems", value("k2"))),
+        lambda d: d.remove_subtree(d.root.children[0]),
+    ]
+    oracle_doc = document.copy()
+    oracle = LazyQueryEvaluator(
+        ServiceBus(evaluator.bus.registry),
+        config=EngineConfig(strategy=Strategy.LAZY_NFQ),
+    )
+    for index, mutate in enumerate(mutations):
+        mutate(document)
+        outcome = standing.refresh()
+        mutate(oracle_doc)
+        expected = oracle.evaluate(query, oracle_doc)
+        assert outcome.value_rows() == expected.value_rows(), f"step {index}"
+    cache = standing.answer_cache
+    assert cache.full_matches == 1  # seeded once, then spliced
+    assert cache.scope_rematches >= 1
+
+
+def test_maintained_final_match_is_a_row_hit_for_answer_disjoint_calls():
+    document, evaluator, query = make_maintained_world()
+    standing = ContinuousQuery(evaluator, query, document)
+    # getMeta's reply carries no item/title labels: relevance must be
+    # re-examined (the engine runs, the call is invoked) but the rows
+    # provably cannot change — the final match is served cache-hot.
+    document.insert_subtree(document.root, call("getMeta", value("m")))
+    outcome = standing.refresh()
+    assert outcome.value_rows() == {("first",)}
+    assert standing.engine_skips == 0
+    assert outcome.metrics.answer_cache_hits == 1
+    assert outcome.metrics.maintained_rows == 1
+    assert standing.answer_cache.scope_rematches == 0
+
+
+def test_maintained_metrics_report_respliced_rows():
+    document, evaluator, query = make_maintained_world()
+    standing = ContinuousQuery(evaluator, query, document)
+    document.insert_subtree(document.root, call("getItems", value("k1")))
+    outcome = standing.refresh()
+    assert outcome.value_rows() == {("first",), ("remote-1",)}
+    assert outcome.metrics.maintained_rows == 2
+    assert outcome.metrics.rows_respliced >= 1
+    assert "ans-rows=" in outcome.metrics.summary()
+
+
+def test_maintained_answers_stay_off_under_bindings_push():
+    document, evaluator, query = make_maintained_world(
+        push_mode=PushMode.BINDINGS
+    )
+    standing = ContinuousQuery(evaluator, query, document)
+    assert standing.answer_cache is None
+    assert standing.value_rows() == {("first",)}
+
+
+def test_close_detaches_the_observers():
+    document, evaluator, query = make_maintained_world()
+    standing = ContinuousQuery(evaluator, query, document)
+    observers_before = len(document._observers)
+    standing.close()
+    assert len(document._observers) == observers_before - 2
+    assert standing.answer_cache is None

@@ -193,6 +193,40 @@ def test_cache_misses_when_the_pattern_object_changes():
     cache.detach()
 
 
+def test_pattern_mismatch_evicts_the_stale_entry():
+    """Regression: a pattern-identity miss used to leave the dead entry
+    in place, so the merged footprint (and per-splice screening) kept
+    consulting a footprint no live entry owned."""
+    doc, rquery = _chain_setup()
+    cache = RelevanceCache(doc)
+    cache.retrieve(rquery, lambda rq: [])
+    assert len(cache._entries) == 1
+
+    # Rebuild the family with a *disjoint* pattern for the same target:
+    # the lookup must evict the old entry, not just miss.
+    rebuilt = parse_pattern("/zz/yy/$Q")
+    (fresh,) = [
+        q for q in build_nfqs(rebuilt) if q.target.label == "Q"
+    ]
+    fresh.target_uid = rquery.target_uid
+    assert cache.lookup(fresh) is None
+    assert not cache._entries, "stale entry must be evicted on mismatch"
+
+    cache.store(fresh, [])
+    # The merged footprint was rebuilt from the live entries only: a
+    # splice touching only the *old* footprint is now screened out in
+    # one group check instead of dirtying anything.
+    branch_call = next(
+        c for c in doc.function_nodes() if c.label == "level1"
+    )
+    screens_before = cache.group_screens
+    doc.replace_call(branch_call, [E("l1", V("leaf"))])
+    assert cache.group_screens == screens_before + 1
+    assert cache.invalidations == 0
+    assert cache.lookup(fresh) is not None
+    cache.detach()
+
+
 # ---------------------------------------------------------------------------
 # Index-assisted matching == exhaustive walk
 # ---------------------------------------------------------------------------
