@@ -1,0 +1,378 @@
+"""E14 — multi-tenant serving: batched rounds vs independent loops.
+
+E13 made a *single* standing query cheap to refresh.  This experiment
+measures what :class:`repro.serve.QueryServer` adds on top when many
+subscribers share a document: the per-round cross-tenant batching step
+that merges every due subscription's relevance family into **one**
+:class:`~repro.pattern.multimatch.PatternGroup` pass per document, so
+a round that invokes nothing costs one shared pass plus N maintained
+serves instead of N independent engine runs.
+
+* **Refresh latency under a traffic trace** (the headline sweep): a
+  hotels document carries N standing queries through the E13 evolution
+  trace — quiet insertions, periodically an extensional qualifying
+  hotel or a fresh relevant service call.  Two twin worlds replay the
+  same trace: N independent :class:`ContinuousQuery` loops refreshed in
+  registration order, and one :class:`QueryServer` driven by
+  :meth:`run_round`.  Latency is measured on a simulated serving clock
+  (service latency from the bus plus measured compute): every
+  subscriber goes due at the start of the round and is charged until
+  its serve completes, so the p99 captures the subscriber at the back
+  of the queue.  Every round both sides must produce identical value
+  rows per subscriber and identical cumulative invocation logs; at 64
+  subscribers and full size the server's p99 must be >= 3x better.
+
+* **Noisy neighbour isolation**: a ``noisy`` tenant (registered first,
+  so FIFO would serve it first — budgets, not priority, must do the
+  isolating) hammers its own small document with a relevant call every
+  round under a 1-invocation budget.  Victim tenants share the big
+  document.  The noisy tenant must see typed ``DEFERRED(budget)``
+  outcomes; the victims must see none, and their p99 must stay within
+  10% of a run without the noisy tenant at all.
+
+The tables land in ``BENCH_e14.json`` (see ``bench_harness``); the
+headline assertions are re-checked *against the emitted file* so a
+broken emitter fails the bench, not just downstream consumers.
+
+Set ``E14_N`` (default 2000) to shrink the document for smoke runs —
+the >= 3x and 10% assertions only arm at full size.
+"""
+
+import os
+import random
+import time
+
+from bench_harness import print_table, read_bench_json, run_once
+from bench_e13_answers import (
+    QUERY_TEXTS,
+    mutate_round,
+    qualifying_nearby,
+)
+from repro.axml.builder import C, V
+from repro.lazy.config import EngineConfig, Strategy
+from repro.lazy.continuous import ContinuousQuery
+from repro.lazy.engine import LazyQueryEvaluator
+from repro.pattern.parse import parse_pattern
+from repro.serve import QueryServer, RefreshStatus, TenantPolicy, quantile
+from repro.workloads.hotels import HotelsWorkloadParams, build_hotels_workload
+
+N_HOTELS = int(os.environ.get("E14_N", "2000"))
+FULL_SIZE = N_HOTELS >= 2000  # the >= 3x / 10% claims arm at full size
+SUB_COUNTS = [16, 64]
+TRACE_ROUNDS = 12
+
+
+def serving_config():
+    return EngineConfig.serving(strategy=Strategy.LAZY_NFQ)
+
+
+def workload_of(n):
+    return build_hotels_workload(
+        HotelsWorkloadParams(
+            n_hotels=n,
+            extra_hotels_via_service=0,
+            target_hotel_count=12,
+            seed=13,
+        )
+    )
+
+
+def queries_of(k):
+    texts = [QUERY_TEXTS[i % len(QUERY_TEXTS)] for i in range(k)]
+    return [
+        parse_pattern(text, name=f"sub-{i}") for i, text in enumerate(texts)
+    ]
+
+
+def invocations(bus):
+    return [
+        (r.service_name, r.call_node_id, r.fault) for r in bus.log.records
+    ]
+
+
+def ms(seconds):
+    return seconds * 1000
+
+
+# -- headline: batched rounds vs independent refresh loops -------------------
+
+
+class LoopWorld:
+    """The oracle deployment: independent standing queries on one
+    shared engine, refreshed in registration order, timed on the same
+    hybrid serving clock the server uses (bus clock + compute)."""
+
+    def __init__(self, workload, queries):
+        self.bus = workload.make_bus()
+        self.engine = LazyQueryEvaluator(
+            self.bus, schema=workload.schema, config=serving_config()
+        )
+        self.document = workload.make_document()
+        self.loops = [
+            ContinuousQuery(self.engine, query, self.document)
+            for query in queries
+        ]
+        self.compute_s = 0.0
+
+    def clock(self):
+        return self.bus.clock_s + self.compute_s
+
+    def refresh_round(self):
+        """Refresh every loop once; all go due at the round start."""
+        due = self.clock()
+        latencies, rows = [], []
+        for loop in self.loops:
+            started = time.perf_counter()
+            outcome = loop.refresh()
+            self.compute_s += time.perf_counter() - started
+            latencies.append(self.clock() - due)
+            rows.append(set(outcome.value_rows()))
+        return latencies, rows
+
+    def close(self):
+        for loop in self.loops:
+            loop.close()
+
+
+def latency_sweep():
+    rows = []
+    for k in SUB_COUNTS:
+        workload = workload_of(N_HOTELS)
+        queries = queries_of(k)
+        loops = LoopWorld(workload, queries)
+
+        server_bus = workload.make_bus()
+        server = QueryServer(
+            server_bus, schema=workload.schema, config=serving_config()
+        )
+        server_doc = workload.make_document()
+        subs = [
+            server.subscribe(query, server_doc, name=query.name)
+            for query in queries
+        ]
+        # Eager materialisation (untimed) must already agree.
+        assert invocations(loops.bus) == invocations(server_bus)
+
+        rng = random.Random(7)
+        loop_lat, server_lat = [], []
+        statuses = {status: 0 for status in RefreshStatus}
+        for rnd in range(TRACE_ROUNDS):
+            mutate_round(rnd, rng, (loops.document, server_doc))
+            latencies, expected = loops.refresh_round()
+            loop_lat.extend(latencies)
+            report = server.run_round()
+            for outcome in report.outcomes:
+                statuses[outcome.status] += 1
+                if outcome.served:
+                    server_lat.append(outcome.latency_s)
+            # Identical answers per subscriber, identical cumulative
+            # invocation logs — the batching must be unobservable.
+            assert [set(sub.rows) for sub in subs] == expected, (k, rnd)
+            assert invocations(loops.bus) == invocations(server_bus), (
+                k,
+                rnd,
+            )
+        assert len(server_lat) == len(loop_lat), "every sub served per round"
+        rows.append(
+            (
+                k,
+                TRACE_ROUNDS,
+                statuses[RefreshStatus.EVALUATED],
+                statuses[RefreshStatus.MAINTAINED]
+                + statuses[RefreshStatus.SKIPPED],
+                ms(quantile(loop_lat, 0.5)),
+                ms(quantile(loop_lat, 0.99)),
+                ms(quantile(server_lat, 0.5)),
+                ms(quantile(server_lat, 0.99)),
+                round(
+                    quantile(loop_lat, 0.99)
+                    / max(quantile(server_lat, 0.99), 1e-9),
+                    2,
+                ),
+            )
+        )
+        loops.close()
+        server.close()
+    return rows
+
+
+# -- noisy neighbour isolation ----------------------------------------------
+
+VICTIM_TENANTS = ["team-a", "team-b", "team-c"]
+VICTIM_SUBS_EACH = 16
+NOISY_SUBS = 8
+
+
+def noisy_workload():
+    return build_hotels_workload(
+        HotelsWorkloadParams(
+            n_hotels=8,
+            extra_hotels_via_service=0,
+            target_hotel_count=4,
+            seed=14,
+        )
+    )
+
+
+def noisy_run(with_noisy):
+    """One serving run over the victim trace; optionally a noisy tenant
+    on its own documents, registered and subscribed *first*."""
+    workload = workload_of(N_HOTELS)
+    server = QueryServer(
+        workload.make_bus(), schema=workload.schema, config=serving_config()
+    )
+    noisy_docs = []
+    if with_noisy:
+        server.register_tenant(
+            "noisy", TenantPolicy(invocation_budget=1)
+        )
+        # One small document per noisy subscription: each round every
+        # one of them grows a relevant call, so the tenant genuinely
+        # wants NOISY_SUBS engine runs per round against a budget of 1
+        # invocation — a run for one document cannot quiet the others.
+        noisy_wl = noisy_workload()
+        for i in range(NOISY_SUBS):
+            doc = noisy_wl.make_document()
+            noisy_docs.append(doc)
+            server.subscribe(
+                parse_pattern(
+                    QUERY_TEXTS[i % len(QUERY_TEXTS)], name=f"noisy-{i}"
+                ),
+                doc,
+                tenant="noisy",
+            )
+    victim_doc = workload.make_document()
+    queries = queries_of(VICTIM_SUBS_EACH * len(VICTIM_TENANTS))
+    for i, query in enumerate(queries):
+        server.subscribe(
+            query,
+            victim_doc,
+            tenant=VICTIM_TENANTS[i % len(VICTIM_TENANTS)],
+            name=f"victim-{i}",
+        )
+
+    rng = random.Random(7)
+    victim_lat = []
+    deferred = {"noisy": 0, "victims": 0}
+    for rnd in range(TRACE_ROUNDS):
+        mutate_round(rnd, rng, (victim_doc,))
+        for doc in noisy_docs:
+            # The noisy tenant wants an engine run per document per round.
+            spot = qualifying_nearby(doc)
+            if spot is not None:
+                doc.insert_subtree(
+                    spot, C("getNearbyRestos", V("1 Madison Av."))
+                )
+        report = server.run_round()
+        for outcome in report.outcomes:
+            if outcome.tenant == "noisy":
+                if outcome.status is RefreshStatus.DEFERRED:
+                    deferred["noisy"] += 1
+            else:
+                if outcome.status is RefreshStatus.DEFERRED:
+                    deferred["victims"] += 1
+                elif outcome.served:
+                    victim_lat.append(outcome.latency_s)
+    server.close()
+    return victim_lat, deferred
+
+
+def isolation_sweep():
+    baseline_lat, baseline_deferred = noisy_run(with_noisy=False)
+    noisy_lat, noisy_deferred = noisy_run(with_noisy=True)
+    rows = [
+        (
+            "victims-only",
+            len(baseline_lat),
+            ms(quantile(baseline_lat, 0.5)),
+            ms(quantile(baseline_lat, 0.99)),
+            baseline_deferred["victims"],
+            0,
+        ),
+        (
+            "with-noisy",
+            len(noisy_lat),
+            ms(quantile(noisy_lat, 0.5)),
+            ms(quantile(noisy_lat, 0.99)),
+            noisy_deferred["victims"],
+            noisy_deferred["noisy"],
+        ),
+    ]
+    return rows
+
+
+# -- the bench ---------------------------------------------------------------
+
+
+def test_e14_serving_latency(benchmark, capsys):
+    latency_rows, isolation_rows = run_once(
+        benchmark, lambda: (latency_sweep(), isolation_sweep())
+    )
+    with capsys.disabled():
+        print_table(
+            "E14: batched serving rounds vs independent refresh loops"
+            f" (hotels({N_HOTELS}))",
+            [
+                "subs",
+                "rounds",
+                "evaluated",
+                "served_cheap",
+                "loops_p50_ms",
+                "loops_p99_ms",
+                "server_p50_ms",
+                "server_p99_ms",
+                "p99_speedup",
+            ],
+            latency_rows,
+            note="identical rows and invocation order asserted per sub per round",
+            bench="e14",
+        )
+        print_table(
+            "E14: noisy-neighbour isolation under per-tenant budgets"
+            f" (hotels({N_HOTELS}))",
+            [
+                "run",
+                "victim_serves",
+                "victim_p50_ms",
+                "victim_p99_ms",
+                "victim_deferred",
+                "noisy_deferred",
+            ],
+            isolation_rows,
+            note="noisy tenant registered first; budget=1 engine run per round",
+            bench="e14",
+        )
+    # The shared pass must actually fire: most serves on the big
+    # document avoid the engine entirely.
+    for row in latency_rows:
+        assert row[3] > 0, "rounds should serve maintained answers"
+
+    # The headline, re-checked against the *emitted* JSON so a broken
+    # emitter fails here and not in some downstream consumer.
+    payload = read_bench_json("e14")
+    latency_table = next(
+        t for name, t in payload["tables"].items() if "refresh loops" in name
+    )
+    speedup_col = latency_table["headers"].index("p99_speedup")
+    k64 = next(r for r in latency_table["rows"] if r[0] == 64)
+    if FULL_SIZE:
+        assert k64[speedup_col] >= 3.0, k64
+    else:
+        # Smoke sizes still require batching to win outright.
+        assert k64[speedup_col] > 1.0, k64
+
+    isolation_table = next(
+        t for name, t in payload["tables"].items() if "noisy-neighbour" in name
+    )
+    headers = isolation_table["headers"]
+    by_run = {r[0]: r for r in isolation_table["rows"]}
+    p99 = headers.index("victim_p99_ms")
+    assert by_run["with-noisy"][headers.index("noisy_deferred")] > 0
+    assert by_run["with-noisy"][headers.index("victim_deferred")] == 0
+    assert by_run["victims-only"][headers.index("victim_deferred")] == 0
+    if FULL_SIZE:
+        # Budget exhaustion degrades only the noisy tenant: the
+        # victims' tail stays within 10% of the undisturbed run.
+        assert (
+            by_run["with-noisy"][p99] <= by_run["victims-only"][p99] * 1.10
+        ), (by_run["victims-only"][p99], by_run["with-noisy"][p99])

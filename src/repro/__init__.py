@@ -16,6 +16,11 @@ for you::
     )
     print(outcome.value_rows(), outcome.metrics.summary())
 
+Standing queries use the same front door: ``repro.subscribe`` returns
+a live :class:`Subscription` whose answer refreshes as the document
+mutates, and :class:`QueryServer` hosts many subscriptions from many
+tenants over one shared bus, batching their refresh work per round.
+
 Power users construct :class:`LazyQueryEvaluator` over an explicit
 :class:`ServiceBus` (e.g. to share breaker state across evaluations),
 and attach a :class:`repro.obs.TraceSink` via
@@ -38,7 +43,7 @@ from .axml import (
     parse_document,
     serialize_document,
 )
-from .facade import evaluate
+from .facade import evaluate, subscribe
 from .lazy import (
     BindingsOverlay,
     ContinuousQuery,
@@ -81,6 +86,17 @@ from .pattern import (
     parse_pattern,
     snapshot_result,
 )
+from .serve import (
+    AnswerDelta,
+    AnswerStream,
+    QueryServer,
+    RefreshOutcome,
+    RefreshStatus,
+    RoundReport,
+    Subscription,
+    TenantAccount,
+    TenantPolicy,
+)
 from .schema import (
     ExactSatisfiability,
     FunctionSignature,
@@ -117,6 +133,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Activation",
+    "AnswerDelta",
+    "AnswerStream",
     "BindingsOverlay",
     "C",
     "CallableService",
@@ -149,7 +167,11 @@ __all__ = [
     "NodeKind",
     "NullTracer",
     "PushMode",
+    "QueryServer",
+    "RefreshOutcome",
+    "RefreshStatus",
     "RetryPolicy",
+    "RoundReport",
     "Schema",
     "SequenceService",
     "Service",
@@ -162,8 +184,11 @@ __all__ = [
     "SpanEvent",
     "StaticService",
     "Strategy",
+    "Subscription",
     "TableService",
     "TeeSink",
+    "TenantAccount",
+    "TenantPolicy",
     "TerminationReport",
     "TimeoutFault",
     "TraceSink",
@@ -190,6 +215,7 @@ __all__ = [
     "phase_profile",
     "serialize_document",
     "snapshot_result",
+    "subscribe",
     "verify_nesting",
     "__version__",
 ]

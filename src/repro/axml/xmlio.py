@@ -22,7 +22,7 @@ import xml.etree.ElementTree as ET
 from typing import Iterable
 
 from .document import Document
-from .node import Activation, Node, NodeKind, call, element, value
+from .node import Activation, Node, call, element, value
 
 AXML_NAMESPACE = "http://activexml.net/2004/axml"
 _CALL_TAG = f"{{{AXML_NAMESPACE}}}call"

@@ -14,6 +14,11 @@ Usage examples::
     repro-axml analyze --schema hotels.schema \
         --query '/hotels/hotel[rating="5"]/name'
 
+    # Host several standing queries on one server and drive rounds.
+    repro-axml serve --document hotels.xml --services services.xml \
+        --query '/hotels/hotel/name' --query '/hotels//resto' \
+        --rounds 3
+
 The declarative services file is an XML catalogue of keyed mock
 services (the offline stand-in for real SOAP endpoints)::
 
@@ -50,8 +55,9 @@ from .lazy.report import (
 )
 from .obs.trace import InMemorySink, JsonlSink, TeeSink
 from .pattern.parse import parse_pattern
-from .schema.schema import Schema, parse_schema
+from .schema.schema import parse_schema
 from .schema.termination import analyze_termination
+from .serve import QueryServer, TenantPolicy
 from .services.catalog import FlakyService, TableService, make_signature
 from .services.registry import ServiceBus, ServiceRegistry
 from .services.resilience import CircuitBreakerPolicy, RetryPolicy
@@ -290,6 +296,66 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Host standing queries on one QueryServer and drive rounds."""
+    document = parse_document(_read(args.document), name=args.document)
+    registry = (
+        load_services(args.services) if args.services else ServiceRegistry([])
+    )
+    config = EngineConfig.serving(strategy=_STRATEGIES[args.strategy])
+    server = QueryServer(ServiceBus(registry), config=config)
+    policy = None
+    if args.budget is not None or args.max_inflight is not None:
+        policy = TenantPolicy(
+            invocation_budget=args.budget, max_inflight=args.max_inflight
+        )
+    tenants = args.tenant or ["default"]
+    for index, query_text in enumerate(args.query):
+        tenant = tenants[min(index, len(tenants) - 1)]
+        if policy is not None:
+            server.register_tenant(tenant, policy)
+        sub = server.subscribe(query_text, document, tenant=tenant)
+        print(
+            f"subscribed {sub.name} (tenant {tenant}): "
+            f"{len(sub.rows)} rows"
+        )
+    for _ in range(args.rounds):
+        report = server.run_round()
+        counts = " ".join(
+            f"{status}={count}"
+            for status, count in sorted(report.counts().items())
+        )
+        print(
+            f"round {report.index}: due={len(report.outcomes)}"
+            + (f" {counts}" if counts else " (nothing due)")
+        )
+    print("\nper-tenant metrics:")
+    for metrics in server.tenant_metrics().values():
+        served = " ".join(
+            f"{key}={metrics[key]}"
+            for key in (
+                "refreshes",
+                "fresh",
+                "skipped",
+                "maintained",
+                "evaluated",
+                "deferred",
+                "invocations",
+            )
+        )
+        print(
+            f"  {metrics['tenant']}: {served} "
+            f"p50={metrics['p50_latency_s']:.4f}s "
+            f"p99={metrics['p99_latency_s']:.4f}s"
+        )
+    for sub in server.subscriptions:
+        print(
+            f"  {sub.name}: {len(sub.rows)} rows, "
+            f"{sub.stream.pending} pending deltas"
+        )
+    return 0
+
+
 def _read(path: str) -> str:
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
@@ -451,6 +517,43 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--query", required=True)
     an.add_argument("--schema")
     an.set_defaults(handler=cmd_analyze)
+
+    se = sub.add_parser(
+        "serve", help="host standing queries on one query server"
+    )
+    se.add_argument("--document", required=True, help="AXML document (XML)")
+    se.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        help="tree-pattern query; repeat to register several",
+    )
+    se.add_argument("--services", help="declarative services catalogue (XML)")
+    se.add_argument(
+        "--strategy", choices=sorted(_STRATEGIES), default="lazy-nfq"
+    )
+    se.add_argument(
+        "--tenant",
+        action="append",
+        help="tenant for the query at the same position (last one "
+        "covers the rest; default: one shared tenant)",
+    )
+    se.add_argument(
+        "--rounds", type=int, default=1, help="serving rounds to drive"
+    )
+    se.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="per-tenant invocation budget per round",
+    )
+    se.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="per-tenant engine refreshes per round",
+    )
+    se.set_defaults(handler=cmd_serve)
 
     return parser
 

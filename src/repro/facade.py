@@ -7,9 +7,13 @@ documents as XML text, root :class:`~repro.axml.node.Node` s or
 :class:`~repro.axml.document.Document` s, and services as a list, a
 :class:`~repro.services.registry.ServiceRegistry` or a fully-built
 :class:`~repro.services.registry.ServiceBus` — and wires up the
-registry, bus and engine internally.  Power users keep constructing
-:class:`~repro.lazy.engine.LazyQueryEvaluator` directly (e.g. to reuse
-one bus, and its breaker state, across evaluations).
+registry, bus and engine internally.  :func:`subscribe` is the same
+front door for *standing* queries: identical input coercion, but the
+result is a live :class:`~repro.serve.Subscription` whose answer
+refreshes as the document mutates.  Power users keep constructing
+:class:`~repro.lazy.engine.LazyQueryEvaluator` (one-shot) or
+:class:`~repro.serve.QueryServer` (many subscriptions, shared bus)
+directly.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from .pattern.match import MatchOptions
 from .pattern.parse import parse_pattern
 from .pattern.pattern import TreePattern
 from .schema.schema import Schema
-from .services.registry import ServiceBus, ServiceRegistry
+from .services.registry import ServiceBus, ServiceRegistry, bus_of
 from .services.service import Service
 
 ServicesLike = Union[ServiceBus, ServiceRegistry, Iterable[Service]]
@@ -94,9 +98,60 @@ def evaluate(
     return engine.evaluate(query, document)
 
 
+def subscribe(
+    query: Union[TreePattern, str],
+    document: Union[Document, Node, str],
+    *,
+    services: ServicesLike,
+    config: Optional[EngineConfig] = None,
+    schema: Optional[Schema] = None,
+    tenant: str = "default",
+    name: Optional[str] = None,
+    eager: bool = True,
+    trace: Union[TraceSink, Tracer, NullTracer, None] = None,
+    **unexpected,
+):
+    """Register a standing query and return a live ``Subscription``.
+
+    The continuous-query counterpart of :func:`evaluate`: identical
+    ``query``/``document``/``services`` coercion, but the result stays
+    subscribed — ``sub.rows`` is the current answer, ``sub.refresh()``
+    brings it up to date after document mutations, ``sub.stream``
+    yields added/removed row deltas, and ``sub.cancel()`` ends it.
+
+    Engine behaviour travels on exactly one ``config=``
+    :class:`EngineConfig` (default :meth:`EngineConfig.serving`); loose
+    engine keywords are rejected, naming the nearest config field.
+    Each call builds a private single-tenant
+    :class:`~repro.serve.QueryServer`; to host *many* subscriptions on
+    one shared bus (and batch their refreshes), construct a
+    :class:`~repro.serve.QueryServer` directly.
+
+    Args:
+        query: a tree pattern, or its XPath-like string form.
+        document: a :class:`Document`, root :class:`Node`, or AXML
+            text.  Mutated in place as the subscription refreshes.
+        services: the Web — list of services, registry, or existing
+            :class:`ServiceBus` (reused, preserving log and breakers).
+        config: the single engine configuration object.
+        schema: element content models for the typed modes.
+        tenant: the admission/accounting bucket for this subscription.
+        name: a label for traces and metrics (defaults to the query's).
+        eager: evaluate immediately (default) or on first refresh.
+        trace: span sink, shorthand for ``config.trace``.
+
+    Returns:
+        A :class:`repro.serve.Subscription`.
+    """
+    from .serve import QueryServer
+    from .serve.server import reject_engine_kwargs
+
+    reject_engine_kwargs("subscribe", unexpected)
+    server = QueryServer(services, config=config, schema=schema, trace=trace)
+    return server.subscribe(
+        query, document, tenant=tenant, name=name, eager=eager
+    )
+
+
 def _bus_of(services: ServicesLike) -> ServiceBus:
-    if isinstance(services, ServiceBus):
-        return services
-    if isinstance(services, ServiceRegistry):
-        return ServiceBus(services)
-    return ServiceBus(ServiceRegistry(services))
+    return bus_of(services)

@@ -23,6 +23,14 @@ bound where a delta can matter:
   bus-level call-cache drop instead of wiping every standing query's
   memoized replies.
 
+Besides :meth:`~repro.lazy.continuous.ContinuousQuery.refresh`, the
+cache has a second consumer: the serving layer
+(:class:`~repro.serve.QueryServer`) proves a subscription
+relevance-quiet via its shared cross-tenant group pass and then serves
+the refresh straight from :meth:`AnswerCache.rows` —
+:meth:`~repro.lazy.continuous.ContinuousQuery.serve_maintained` — so
+one document traversal amortises over every quiet subscriber.
+
 Soundness rests on three observations:
 
 1. **Scope confinement.**  When the pattern root has exactly one child,

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import dataclasses
+import difflib
 import enum
 from typing import Optional, Union
 
 from ..obs.trace import NullTracer, TraceSink, Tracer
+from ..pattern.match import MatchOptions
 from ..services.resilience import CircuitBreakerPolicy, RetryPolicy
 from ..services.service import PushMode
 
@@ -175,6 +177,14 @@ class EngineConfig:
     call_cache_ttl_s: Optional[float] = None
     """Expiry for memoized replies, in *simulated* seconds (None =
     no expiry).  Only meaningful with ``call_cache=True``."""
+    match_options: Optional[MatchOptions] = None
+    """Embedding-semantics knobs for every matcher the engine builds
+    (:class:`~repro.pattern.match.MatchOptions`), so one config object
+    can carry the complete evaluation behaviour.  ``None`` (the
+    default) means the engine's defaults; passing *both* this and the
+    separate ``match_options=`` argument of ``repro.evaluate`` /
+    :class:`~repro.lazy.engine.LazyQueryEvaluator` with differing
+    values raises instead of silently preferring one."""
     trace: Union[TraceSink, Tracer, NullTracer, None] = None
     """Where evaluation spans go: a :class:`repro.obs.TraceSink` (the
     engine wraps a tracer around it, binding the simulated clock to the
@@ -240,6 +250,13 @@ class EngineConfig:
                 f"EngineConfig.breaker must be a CircuitBreakerPolicy "
                 f"or None, got {self.breaker!r}"
             )
+        if self.match_options is not None and not isinstance(
+            self.match_options, MatchOptions
+        ):
+            raise TypeError(
+                f"EngineConfig.match_options must be a MatchOptions or "
+                f"None, got {self.match_options!r}"
+            )
         if self.trace is not None and not (
             isinstance(self.trace, (Tracer, NullTracer))
             or hasattr(self.trace, "on_span_end")
@@ -274,6 +291,49 @@ class EngineConfig:
         ``FREEZE`` (the non-raising default) unless overridden."""
         kwargs.setdefault("fault_policy", FaultPolicy.default_non_raising())
         return cls(**kwargs)
+
+    @classmethod
+    def serving(cls, **kwargs) -> "EngineConfig":
+        """The preset for long-lived standing queries behind a
+        :class:`~repro.serve.QueryServer` (or ``repro.subscribe``).
+
+        Everything the serving layer leans on is switched on at once:
+        delta-driven answer maintenance (engine skips on quiet
+        refreshes), incremental relevance analysis, the shared
+        multi-query matching pass, the bus-level call cache, a
+        concurrent invocation scheduler, and the non-raising ``FREEZE``
+        fault policy — a server must degrade, not raise.  Every choice
+        can be overridden by keyword, e.g.
+        ``EngineConfig.serving(call_cache=False)``.
+        """
+        kwargs.setdefault("maintain_answers", True)
+        kwargs.setdefault("incremental", True)
+        kwargs.setdefault("shared_matching", True)
+        kwargs.setdefault("call_cache", True)
+        kwargs.setdefault("max_concurrency", 4)
+        kwargs.setdefault("fault_policy", FaultPolicy.default_non_raising())
+        return cls(**kwargs)
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        """Every configurable field, in declaration order."""
+        return tuple(f.name for f in dataclasses.fields(cls))
+
+    @classmethod
+    def nearest_field(cls, name: str) -> Optional[str]:
+        """The configured field whose name is closest to ``name``.
+
+        The serving entry points accept exactly one ``config=`` object
+        and no loose engine kwargs; when a caller passes one anyway
+        (``QueryServer(..., maintain_answer=True)``), the rejection
+        names the nearest real :class:`EngineConfig` field — the same
+        fail-loudly-naming-the-field contract ``__post_init__``
+        applies to bad values.
+        """
+        matches = difflib.get_close_matches(
+            name, cls.field_names(), n=1, cutoff=0.4
+        )
+        return matches[0] if matches else None
 
     @property
     def label(self) -> str:

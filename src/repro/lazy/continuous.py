@@ -26,6 +26,7 @@ nothing — so a continuous query is a change-aware wrapper:
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from ..axml.document import Document
@@ -34,18 +35,56 @@ from ..services.service import PushMode
 from .answers import AnswerCache, ServiceTouchTracker
 from .config import Strategy
 from .engine import EvaluationOutcome, LazyQueryEvaluator
+from .metrics import Metrics
 
 
 class ContinuousQuery:
-    """A standing query over one (mutating) AXML document."""
+    """A standing query over one (mutating) AXML document.
+
+    This is the engine-facing core; the friendly front door is
+    ``repro.subscribe`` (or :meth:`repro.serve.QueryServer.subscribe`),
+    which returns a :class:`~repro.serve.Subscription` wrapping one of
+    these — with input coercion, a delta stream and admission control
+    on top.  Constructing a ``ContinuousQuery`` directly from an
+    evaluator stays supported; the old keyword form taking
+    ``services=``/``config=`` instead of an evaluator is deprecated in
+    favour of ``repro.subscribe``.
+    """
 
     def __init__(
         self,
-        evaluator: LazyQueryEvaluator,
-        query: TreePattern,
-        document: Document,
+        evaluator: Optional[LazyQueryEvaluator] = None,
+        query: Optional[TreePattern] = None,
+        document: Optional[Document] = None,
         eager: bool = True,
+        *,
+        services=None,
+        config=None,
     ) -> None:
+        if services is not None or (evaluator is None and config is not None):
+            # The pre-serving keyword form built the engine inline.
+            # ``repro.subscribe`` is the one front door for that now —
+            # it coerces inputs, streams deltas and shares the bus.
+            if evaluator is not None:
+                raise ValueError(
+                    "pass either an evaluator or services=/config=, "
+                    "not both"
+                )
+            warnings.warn(
+                "ContinuousQuery(query, document, services=..., "
+                "config=...) is deprecated; use repro.subscribe(query, "
+                "document, services=..., config=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            from ..services.registry import bus_of
+
+            evaluator = LazyQueryEvaluator(bus_of(services), config=config)
+        if evaluator is None or query is None or document is None:
+            raise TypeError(
+                "ContinuousQuery requires an evaluator, a query and a "
+                "document (or the deprecated services=/config= form)"
+            )
         self.evaluator = evaluator
         self.query = query
         self.document = document
@@ -56,6 +95,11 @@ class ContinuousQuery:
         self.engine_skips = 0
         """Refreshes answered from the maintained answer without
         running the engine at all."""
+        self.maintained_serves = 0
+        """Refreshes served by :meth:`serve_maintained`: the serving
+        layer proved relevance quiet, so the answer came straight from
+        the :class:`~repro.lazy.answers.AnswerCache` (dirty scopes
+        re-matched in place) without running the engine."""
         self._tracker = ServiceTouchTracker(document)
         self._cache: Optional[AnswerCache] = None
         config = evaluator.config
@@ -133,6 +177,64 @@ class ContinuousQuery:
         )
         self._evaluated_version = self.document.version
         self.refresh_count += 1
+        return self._outcome
+
+    def serve_maintained(self) -> Optional[EvaluationOutcome]:
+        """Refresh without the engine, given external proof of quiet.
+
+        The serving layer's cross-tenant group pass
+        (:class:`~repro.serve.QueryServer`) re-evaluates *every* due
+        subscription's relevance family in one shared traversal.  When
+        that pass shows this query retrieves no eligible call (and the
+        document holds no ``IMMEDIATE``-activation call), a full engine
+        run would invoke nothing — every layer goes quiet immediately —
+        and its final match equals the maintained answer.  This method
+        performs exactly the refresh bookkeeping minus the engine:
+        scoped call-cache invalidation, dirty-scope re-matching through
+        the :class:`~repro.lazy.answers.AnswerCache`, version stamping.
+
+        Returns ``None`` when the shortcut is not available — nothing
+        evaluated yet, no maintained answer, or the previous evaluation
+        did not complete (budget exhaustion may have left genuinely
+        relevant calls uninvoked, so only the engine can certify the
+        result).  The caller must then fall back to :meth:`refresh`.
+
+        The *proof obligation is the caller's*: calling this without a
+        current relevance pass can serve stale rows.
+        """
+        if self._outcome is not None and not self.is_stale:
+            return self._outcome
+        if (
+            self._outcome is None
+            or self._cache is None
+            or not self._outcome.metrics.completed
+        ):
+            return None
+        self.evaluator.bus.invalidate_cache_scoped(
+            self.document, self._tracker.drain()
+        )
+        if self._cache.is_current:
+            # Guard-screened: same shortcut refresh() would take.
+            self._cache.note_hit()
+            self.engine_skips += 1
+            self._evaluated_version = self.document.version
+            return self._outcome
+        rows = self._cache.rows()
+        metrics = Metrics(
+            strategy=self.evaluator.config.label, completed=True
+        )
+        metrics.result_rows = len(rows)
+        metrics.maintained_rows = len(rows)
+        self._outcome = EvaluationOutcome(
+            query=self.query,
+            document=self.document,
+            rows=rows,
+            metrics=metrics,
+            rounds=[],
+            overlay=None,
+        )
+        self._evaluated_version = self.document.version
+        self.maintained_serves += 1
         return self._outcome
 
     def peek(self) -> Optional[EvaluationOutcome]:

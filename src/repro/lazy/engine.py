@@ -59,7 +59,6 @@ from .answers import AnswerCache
 from .config import EngineConfig, FaultPolicy, Strategy, TypingMode
 from .fguide import FGuide
 from .incremental import RelevanceCache
-from .influence import InfluenceAnalyzer
 from .layers import Layer, compute_layers
 from .metrics import Metrics, RoundRecord
 from .naive import naive_fixpoint
@@ -140,7 +139,21 @@ class LazyQueryEvaluator:
         self.bus = bus
         self.schema = schema
         self.config = config or EngineConfig()
-        self.match_options = match_options or MatchOptions()
+        if (
+            match_options is not None
+            and self.config.match_options is not None
+            and match_options != self.config.match_options
+        ):
+            # Mirrors the facade's strategy-conflict check: two sources
+            # of embedding semantics must agree, not silently race.
+            raise ValueError(
+                "conflicting match options: match_options="
+                f"{match_options!r} but config.match_options="
+                f"{self.config.match_options!r} — pass one or the other"
+            )
+        self.match_options = (
+            match_options or self.config.match_options or MatchOptions()
+        )
 
     # -- public API ------------------------------------------------------------
 

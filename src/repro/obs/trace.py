@@ -22,6 +22,15 @@ pruning, E5 layering): every phase of an evaluation —
                                maintained answer: dirty-subtree
                                re-matching + row splicing)
 
+The serving layer (``repro.serve``) adds its own root above these:
+
+    serve_round               (one QueryServer round: admission,
+                               the shared cross-tenant group pass,
+                               then the due refreshes)
+      serve_refresh           (one subscription's refresh — wraps
+                               the engine's ``evaluate`` tree when
+                               the refresh actually ran the engine)
+
 — becomes a :class:`Span` carrying *wall-clock* timings (real CPU cost
 of being lazy) and *simulated-clock* timings (the bus clock: service
 latency, transfer, backoff), plus tags and point-in-time
@@ -57,6 +66,8 @@ INVOCATION = "invocation"
 PUSH = "push"
 FINAL_MATCH = "final_match"
 ANSWER_MAINT = "answer_maint"
+SERVE_ROUND = "serve_round"
+SERVE_REFRESH = "serve_refresh"
 
 # Event names emitted by the service bus inside an ``invocation`` span.
 EVENT_ATTEMPT = "attempt"

@@ -245,9 +245,12 @@ class _MemberMatcher(Matcher):
         # answers it with one dict probe instead of re-iterating the
         # document node's children (the any()/exists-below loop).
         # Sound because members carry no overlay (group precondition)
-        # and the outcome is a pure function of (condition class, node)
-        # on an unchanging document.
-        key = (self._cids[child.uid], id(dnode))
+        # and the outcome is a pure function of (condition class, edge,
+        # node) on an unchanging document.  The edge must key the memo:
+        # a node's cid describes its own subtree, not how it hangs off
+        # its parent, and the same condition class reached by CHILD in
+        # one member and DESCENDANT in another answers differently.
+        key = (self._cids[child.uid], child.edge, id(dnode))
         memo = self._cond_memo
         cached = memo.get(key)
         if cached is None:
@@ -344,7 +347,7 @@ class PatternGroup:
         self.call_source = call_source
         self._can_memo: dict[tuple[int, int], bool] = {}
         self._below_memo: dict[tuple[int, int], bool] = {}
-        self._cond_memo: dict[tuple[int, int], bool] = {}
+        self._cond_memo: dict[tuple[int, EdgeKind, int], bool] = {}
         self._shared_can_memo: dict[tuple[int, int], bool] = {}
         self._cand_memo: dict[tuple[int, int, EdgeKind], list[Node]] = {}
         self._cids: dict[int, int] = {}
@@ -367,6 +370,40 @@ class PatternGroup:
 
     def keys(self) -> list[Hashable]:
         return list(self._members)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._members
+
+    def extend(self, members: Mapping[Hashable, TreePattern]) -> None:
+        """Intern additional members into the live group.
+
+        The canonical tables are append-only (hash-consing never
+        invalidates an existing class id), so new patterns join an
+        existing group without recompiling the rest — the serving
+        layer's subscription churn path.  Duplicate keys are rejected:
+        a key identifies one member pattern for the group's lifetime.
+        """
+        fresh = dict(members)
+        for key in fresh:
+            if key in self._members:
+                raise ValueError(f"group member {key!r} already present")
+        for key, pattern in fresh.items():
+            self._intern(pattern.root)
+            self._members[key] = _MemberMatcher(pattern, self)
+            self._summaries[key] = LabelSummary.from_pattern(pattern)
+
+    def discard(self, keys: Iterable[Hashable]) -> None:
+        """Drop members (unknown keys are ignored).
+
+        Canonical classes contributed by departed members linger in the
+        intern tables — they are ids, not work: passes only evaluate
+        the selected members, and a later :meth:`extend` may re-use
+        them.  This keeps cancellation O(|dropped|) under thousands of
+        comings and goings.
+        """
+        for key in keys:
+            self._members.pop(key, None)
+            self._summaries.pop(key, None)
 
     @property
     def canonical_classes(self) -> int:
@@ -423,7 +460,7 @@ class PatternGroup:
             )
         else:
             # _shared_can asks full _child_possible of each condition
-            # child, a function of that child's *cid*.
+            # child, a function of that child's *cid* and edge.
             shared = tuple(
                 sorted((e, cid) for e, cid, _, needs in child_info if not needs)
             )

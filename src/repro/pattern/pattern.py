@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterator, Optional
 
-from .nodes import EdgeKind, PatternKind, PatternNode, por
+from .nodes import EdgeKind, PatternKind, PatternNode
 
 
 @dataclasses.dataclass(frozen=True)

@@ -19,7 +19,7 @@ AXML: services can invent fresh labels and values).
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from ..pattern.nodes import EdgeKind
 from ..pattern.pattern import LinearStep

@@ -43,7 +43,6 @@ from typing import Optional, Protocol
 
 from ..pattern.nodes import EdgeKind, PatternKind, PatternNode
 from ..pattern.pattern import TreePattern
-from . import automata
 from . import regex as rx
 from .schema import Schema
 

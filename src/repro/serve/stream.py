@@ -1,0 +1,118 @@
+"""Per-subscriber answer delta streams.
+
+A :class:`~repro.serve.QueryServer` round serves many subscriptions
+from one shared pass; what each subscriber actually wants back is not
+the full row set every time but *what changed*.  :class:`AnswerStream`
+is the per-subscription outbox: whenever a refresh changes the
+subscription's answer, an :class:`AnswerDelta` (the added and removed
+value rows, computed against the maintained
+:class:`~repro.lazy.answers.AnswerCache` snapshot) is pushed here.
+
+Consumption is pull *or* push:
+
+* iterate the stream (``for delta in sub.stream``) to drain pending
+  deltas — the iterator removes what it yields, so two consumers never
+  see the same delta twice;
+* or register a callback (:meth:`AnswerStream.on_delta`) to be invoked
+  synchronously at push time — deltas are still buffered, so a late
+  iterator can catch up.
+
+The buffer is bounded (a slow consumer must not hold the server's
+memory hostage): past ``max_pending`` deltas the *oldest* entries are
+dropped and counted in :attr:`AnswerStream.dropped` — the stream
+degrades to "you missed some history, re-read ``Subscription.rows``",
+never to unbounded growth.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Callable, Iterator
+
+
+ValueRow = tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class AnswerDelta:
+    """One refresh's answer change for one subscription.
+
+    ``added``/``removed`` are value-row sets (the same shape
+    :meth:`~repro.lazy.engine.EvaluationOutcome.value_rows` returns);
+    ``rows_total`` is the full answer size *after* this delta, so a
+    consumer that missed deltas can detect drift cheaply.
+    """
+
+    added: frozenset[ValueRow]
+    removed: frozenset[ValueRow]
+    rows_total: int
+    document_version: int
+    round_index: int
+    at_s: float
+    """Serving-clock timestamp (simulated bus seconds + measured
+    compute seconds) at which the delta was served."""
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing changed (never pushed, but composable)."""
+        return not self.added and not self.removed
+
+
+class AnswerStream:
+    """A bounded buffer + callback fan-out of one subscription's deltas."""
+
+    def __init__(self, max_pending: int = 1024) -> None:
+        if max_pending < 1:
+            raise ValueError(
+                f"AnswerStream.max_pending must be >= 1, got {max_pending!r}"
+            )
+        self.max_pending = max_pending
+        self.dropped = 0
+        """Deltas evicted because the buffer was full (oldest first)."""
+        self.delivered = 0
+        """Deltas pushed over the stream's lifetime."""
+        self._pending: collections.deque[AnswerDelta] = collections.deque()
+        self._callbacks: list[Callable[[AnswerDelta], None]] = []
+
+    def push(self, delta: AnswerDelta) -> None:
+        """Buffer ``delta`` and fan it out to registered callbacks.
+
+        Called by the serving layer; user code normally only consumes.
+        """
+        self.delivered += 1
+        self._pending.append(delta)
+        while len(self._pending) > self.max_pending:
+            self._pending.popleft()
+            self.dropped += 1
+        for callback in self._callbacks:
+            callback(delta)
+
+    def on_delta(self, callback: Callable[[AnswerDelta], None]) -> None:
+        """Register ``callback`` to run synchronously on every push."""
+        self._callbacks.append(callback)
+
+    @property
+    def pending(self) -> int:
+        """Deltas buffered and not yet drained."""
+        return len(self._pending)
+
+    def take(self) -> list[AnswerDelta]:
+        """Drain and return every pending delta, oldest first."""
+        out = list(self._pending)
+        self._pending.clear()
+        return out
+
+    def __iter__(self) -> Iterator[AnswerDelta]:
+        """Drain pending deltas; each is yielded exactly once."""
+        while self._pending:
+            yield self._pending.popleft()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AnswerStream(pending={len(self._pending)}, "
+            f"delivered={self.delivered}, dropped={self.dropped})"
+        )

@@ -164,6 +164,24 @@ class ServiceRegistry:
         return schema
 
 
+def bus_of(
+    services: Union["ServiceBus", ServiceRegistry, Iterable[Service]],
+) -> "ServiceBus":
+    """Coerce any services-like value into a :class:`ServiceBus`.
+
+    An existing bus is returned as-is (preserving its invocation log,
+    call cache and breaker state); a registry or a plain iterable of
+    services gets a fresh bus.  This is the shared coercion behind
+    ``repro.evaluate``, ``repro.subscribe`` and
+    :class:`repro.serve.QueryServer`.
+    """
+    if isinstance(services, ServiceBus):
+        return services
+    if isinstance(services, ServiceRegistry):
+        return ServiceBus(services)
+    return ServiceBus(ServiceRegistry(services))
+
+
 class ServiceBus:
     """Invokes services and accounts the traffic.
 

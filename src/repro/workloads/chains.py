@@ -20,10 +20,9 @@ from ..axml.builder import C, E, V, build_document
 from ..axml.document import Document
 from ..axml.node import Node
 from ..pattern.parse import parse_pattern
-from ..pattern.pattern import TreePattern
 from ..schema.schema import Schema
 from ..services.catalog import make_signature
-from ..services.registry import ServiceBus, ServiceRegistry
+from ..services.registry import ServiceRegistry
 from ..services.service import Service
 from .hotels import Workload
 

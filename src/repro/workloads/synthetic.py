@@ -16,7 +16,7 @@ infinite, Section 2 of the paper).
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..axml.builder import C, E, V, build_document
 from ..axml.document import Document

@@ -251,3 +251,27 @@ def test_eval_legacy_skip_faults_flag_still_works(workspace, capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "skipped=" in out
+
+
+def test_serve_command(workspace, capsys):
+    code = main(
+        [
+            "serve",
+            "--document", str(workspace / "hotels.xml"),
+            "--services", str(workspace / "services.xml"),
+            "--query", QUERY,
+            "--query", "/hotels/hotel/name/$N",
+            "--tenant", "alpha",
+            "--tenant", "beta",
+            "--rounds", "2",
+            "--budget", "5",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "subscribed" in out
+    assert "(tenant alpha)" in out and "(tenant beta)" in out
+    assert "round 0:" in out and "round 1:" in out
+    assert "per-tenant metrics:" in out
+    assert "alpha:" in out and "beta:" in out
+    assert "pending deltas" in out

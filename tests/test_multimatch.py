@@ -103,6 +103,42 @@ def test_group_evaluates_selected_keys_only():
     assert sorted(result.match_sets) == sorted(set(chosen))
 
 
+@pytest.mark.parametrize("with_index", [False, True])
+def test_cross_family_members_share_no_edge_confusion(with_index):
+    """Mixing members from *different* queries must stay oracle-exact.
+
+    Regression: the condition memo was keyed by (class id, document
+    node) without the connecting edge.  A member testing a condition
+    class through a CHILD edge would cache a negative that a sibling
+    member testing the *same class* through a DESCENDANT edge then
+    read back, in either evaluation order.  One query's NFQ family
+    reuses each step with one consistent edge, so only cross-family
+    groups — the serving layer's cross-tenant pass — ever collide.
+    """
+    document = build_document(
+        E("root", E("branch", E("leaf", C("svc", V("k1")))))
+    )
+    # Same condition class `()` (any function), different edges: a
+    # direct child test (no function child of root -> False) and a
+    # descendant test (the call exists below -> True).
+    members = {
+        "child": parse_pattern("/root[()!]"),
+        "descendant": parse_pattern("/root[//()!]"),
+    }
+    index = LabelIndex(document) if with_index else None
+    for order in (["child", "descendant"], ["descendant", "child"]):
+        group = PatternGroup(members, index=index)
+        result = group.evaluate(document, keys=order)
+        for key in order:
+            oracle = Matcher(members[key], index=index).evaluate(document)
+            assert rows_of(result.match_sets[key]) == rows_of(oracle), (
+                order,
+                key,
+            )
+    if index is not None:
+        index.detach()
+
+
 def test_group_tracks_document_mutation():
     """Memo tables are per-pass: after a mutation the next pass sees
     the new state, matching fresh matchers (the engine's reuse path)."""

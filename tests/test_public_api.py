@@ -1,6 +1,7 @@
 """Sanity tests for the public API surface."""
 
 import importlib
+import pathlib
 
 import pytest
 
@@ -13,6 +14,7 @@ PACKAGES = [
     "repro.schema",
     "repro.services",
     "repro.lazy",
+    "repro.serve",
     "repro.workloads",
     "repro.obs",
     "repro.cli",
@@ -34,6 +36,7 @@ def test_packages_import_cleanly(name):
         "repro.schema",
         "repro.services",
         "repro.lazy",
+        "repro.serve",
         "repro.workloads",
         "repro.obs",
     ],
@@ -55,6 +58,48 @@ def test_every_public_symbol_is_documented():
         symbol = getattr(repro, exported)
         if callable(symbol) or isinstance(symbol, type):
             assert symbol.__doc__, f"repro.{exported} lacks a docstring"
+
+
+def test_serving_surface_is_exported():
+    """The serving facade: evaluate's standing-query counterpart."""
+    for name in (
+        "subscribe",
+        "QueryServer",
+        "Subscription",
+        "AnswerStream",
+        "AnswerDelta",
+        "TenantPolicy",
+        "RefreshStatus",
+        "RefreshOutcome",
+        "RoundReport",
+    ):
+        assert hasattr(repro, name), f"repro.{name} missing"
+        assert name in repro.__all__, f"repro.{name} not in __all__"
+
+
+def test_continuous_query_compat_shims_agree():
+    """ContinuousQuery stays importable from every historical home."""
+    from repro import ContinuousQuery as top
+    from repro.lazy import ContinuousQuery as lazy
+    from repro.lazy.continuous import ContinuousQuery as direct
+    from repro.serve import ContinuousQuery as serve
+
+    assert top is lazy is direct is serve
+
+
+def test_all_is_sorted_and_matches_dir():
+    names = [n for n in repro.__all__ if n != "__version__"]
+    assert names == sorted(names), "repro.__all__ is not alphabetized"
+    for name in names:
+        assert hasattr(repro, name)
+
+
+def test_docs_mention_serving_layer():
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    internals = (root / "docs" / "internals.md").read_text(encoding="utf-8")
+    assert "Serving layer" in internals
+    readme = (root / "README.md").read_text(encoding="utf-8")
+    assert "repro.subscribe" in readme
 
 
 def test_readme_quickstart_names_exist():

@@ -1,0 +1,186 @@
+"""Differential harness for the serving layer.
+
+The :class:`~repro.serve.QueryServer` exists to make many standing
+queries cheap — shared cross-tenant relevance passes, maintained-answer
+serves, admission control — but none of that machinery may be
+*observable* in the answers.  The oracle here is the obvious
+unoptimized deployment: N independent
+:class:`~repro.lazy.continuous.ContinuousQuery` loops over one shared
+engine, refreshed in registration order.  A server hosting the same N
+subscriptions over a twin document, driven by :meth:`run_round`, must
+produce — per subscriber, per round —
+
+* identical value rows, and
+* an identical cumulative invocation log (service, call site, fault,
+  in order): the batching may only *avoid* engine runs that would have
+  invoked nothing, never change or reorder the ones that invoke.
+
+Workloads are random synthetic worlds mutated by random splice
+sequences, replayed structurally on both twins (the same machinery as
+``test_differential``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.axml.builder import C, V
+from repro.lazy.config import EngineConfig, Strategy
+from repro.lazy.continuous import ContinuousQuery
+from repro.lazy.engine import LazyQueryEvaluator
+from repro.serve import QueryServer
+from repro.services.registry import ServiceBus
+from repro.workloads.synthetic import SyntheticWorld
+
+# Engine axes under test: the serving preset (fast path armed), the
+# same strategy without maintenance (every refresh runs the engine),
+# and the LPQ strategy (a different relevance-family shape).
+AXES = {
+    "serving": lambda: EngineConfig.serving(strategy=Strategy.LAZY_NFQ),
+    "no-maintenance": lambda: EngineConfig(strategy=Strategy.LAZY_NFQ),
+    "serving-lpq": lambda: EngineConfig.serving(strategy=Strategy.LAZY_LPQ),
+}
+
+
+def _spot_path(rng: random.Random, document) -> list[int]:
+    """A structural (child-index) path to a random element node."""
+    node, path = document.root, []
+    while True:
+        elements = [
+            (i, c) for i, c in enumerate(node.children) if c.is_element
+        ]
+        if not elements or rng.random() < 0.5:
+            return path
+        index, node = rng.choice(elements)
+        path.append(index)
+
+
+def _node_at(document, path: list[int]):
+    node = document.root
+    for index in path:
+        node = node.children[index]
+    return node
+
+
+def _apply_mutation(world, rng_seed: str, step: int, documents) -> None:
+    """One random splice, replayed structurally on every document."""
+    rng = random.Random(f"{rng_seed}|{step}")
+    kind = rng.choice(("insert", "insert", "insert-call", "remove"))
+    path = _spot_path(rng, documents[0])
+    if kind == "remove" and path:
+        for document in documents:
+            document.remove_subtree(_node_at(document, path))
+        return
+    if kind == "insert-call":
+        name = rng.choice(world.service_names)
+        key = f"1:mut-{step}-{rng.randint(0, 9999)}"
+        subtree = C(name, V(key))
+    else:
+        subtree = world._random_tree(
+            rng, depth=2, call_budget=1, salt=f"mut-{step}"
+        )
+    for document in documents:
+        document.insert_subtree(_node_at(document, path), subtree.clone())
+
+
+def _log(bus: ServiceBus):
+    return [
+        (r.service_name, r.call_node_id, r.fault) for r in bus.log.records
+    ]
+
+
+@given(
+    world_seed=st.integers(min_value=0, max_value=2_000),
+    doc_seed=st.integers(min_value=0, max_value=20),
+    mutation_seed=st.integers(min_value=0, max_value=300),
+    n_subs=st.integers(min_value=2, max_value=3),
+    n_rounds=st.integers(min_value=1, max_value=3),
+    axis=st.sampled_from(sorted(AXES)),
+)
+def test_server_rounds_match_independent_refresh_loops(
+    world_seed, doc_seed, mutation_seed, n_subs, n_rounds, axis
+):
+    """One QueryServer round == N independent refreshes, exactly."""
+    world = SyntheticWorld(seed=world_seed)
+    probe = world.make_document(doc_seed)
+    queries = [
+        world.sample_query(probe, doc_seed + i) for i in range(n_subs)
+    ]
+
+    # The oracle: independent standing queries on one shared engine,
+    # refreshed in registration order — the deployment the server
+    # replaces.
+    oracle_bus = ServiceBus(world.registry())
+    oracle_engine = LazyQueryEvaluator(oracle_bus, config=AXES[axis]())
+    oracle_doc = world.make_document(doc_seed)
+    loops = [
+        ContinuousQuery(oracle_engine, query, oracle_doc)
+        for query in queries
+    ]
+
+    # The system under test: the same subscriptions, same order, over a
+    # twin document on a twin bus.
+    server_bus = ServiceBus(world.registry())
+    server = QueryServer(server_bus, config=AXES[axis]())
+    server_doc = world.make_document(doc_seed)
+    subs = [
+        server.subscribe(query, server_doc, name=f"sub-{i}")
+        for i, query in enumerate(queries)
+    ]
+
+    # Eager construction must already agree call for call.
+    assert _log(oracle_bus) == _log(server_bus)
+
+    seed_text = f"{world_seed}|{doc_seed}|{mutation_seed}"
+    for rnd in range(n_rounds):
+        _apply_mutation(
+            world, seed_text, rnd, (oracle_doc, server_doc)
+        )
+        expected = [set(loop.refresh().value_rows()) for loop in loops]
+        server.run_round()
+        assert [set(sub.rows) for sub in subs] == expected, (axis, rnd)
+        assert _log(oracle_bus) == _log(server_bus), (axis, rnd)
+
+    for loop in loops:
+        loop.close()
+    server.close()
+
+
+@given(
+    world_seed=st.integers(min_value=0, max_value=2_000),
+    doc_seed=st.integers(min_value=0, max_value=20),
+    mutation_seed=st.integers(min_value=0, max_value=300),
+    n_rounds=st.integers(min_value=1, max_value=3),
+)
+def test_on_demand_refresh_matches_loops(
+    world_seed, doc_seed, mutation_seed, n_rounds
+):
+    """Subscription.refresh() (no round) is just as invisible."""
+    world = SyntheticWorld(seed=world_seed)
+    probe = world.make_document(doc_seed)
+    query = world.sample_query(probe, doc_seed)
+
+    oracle_bus = ServiceBus(world.registry())
+    oracle_engine = LazyQueryEvaluator(
+        oracle_bus, config=EngineConfig.serving()
+    )
+    oracle_doc = world.make_document(doc_seed)
+    loop = ContinuousQuery(oracle_engine, query, oracle_doc)
+
+    server_bus = ServiceBus(world.registry())
+    server = QueryServer(server_bus, config=EngineConfig.serving())
+    server_doc = world.make_document(doc_seed)
+    sub = server.subscribe(query, server_doc)
+
+    seed_text = f"{world_seed}|{doc_seed}|{mutation_seed}"
+    for rnd in range(n_rounds):
+        _apply_mutation(world, seed_text, rnd, (oracle_doc, server_doc))
+        expected = set(loop.refresh().value_rows())
+        outcome = sub.refresh()
+        assert outcome.served
+        assert set(sub.rows) == expected, rnd
+        assert _log(oracle_bus) == _log(server_bus), rnd
+    loop.close()
+    server.close()
