@@ -296,6 +296,65 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workload(args: argparse.Namespace) -> int:
+    """Inspect, instantiate and export factory workload specs."""
+    import json
+
+    from .workloads.factory import REGIMES, WorkloadSpec, generate
+
+    if args.list:
+        for name, spec in REGIMES.items():
+            print(f"{name:22s} {spec.description}")
+        return 0
+    if args.spec:
+        spec = WorkloadSpec.from_json(json.loads(_read(args.spec)))
+    elif args.regime:
+        spec = REGIMES[args.regime]
+    else:
+        print(
+            "workload: pass --list, --regime NAME or --spec FILE",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seed is not None:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, seed=args.seed)
+    gen = generate(spec)
+    if args.emit_spec:
+        print(json.dumps(spec.to_json(), indent=2, sort_keys=True))
+        return 0
+    if args.emit_document is not None:
+        print(serialize_document(gen.make_document(args.emit_document)))
+        return 0
+    stats = gen.describe()
+    print(f"regime: {stats['name']} (seed={stats['seed']})")
+    if spec.description:
+        print(f"  {spec.description}")
+    print(f"mode: {stats['query_shape']}, fault plan: {stats['fault_plan']}")
+    print(
+        f"document 0: {stats['nodes']} nodes, {stats['calls']} calls "
+        f"({stats['documents']} document(s))"
+    )
+    for service, count in sorted(stats["calls_per_service"].items()):
+        print(f"  {service}: {count} call(s)")
+    print(f"queries ({stats['queries']}):")
+    for i in range(spec.n_queries):
+        query = gen.query_for(i)
+        rows = gen.oracle_rows(query, gen.document_for_query(i))
+        print(
+            f"  [{i}] {query.to_string()}  "
+            f"(doc {gen.document_for_query(i)}, {len(rows)} oracle rows)"
+        )
+    if spec.n_rounds:
+        trace = gen.arrival_trace()
+        arrivals = ", ".join(
+            "{" + ",".join(map(str, due)) + "}" for due in trace
+        )
+        print(f"arrival trace ({spec.n_rounds} rounds): {arrivals}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Host standing queries on one QueryServer and drive rounds."""
     document = parse_document(_read(args.document), name=args.document)
@@ -554,6 +613,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-tenant engine refreshes per round",
     )
     se.set_defaults(handler=cmd_serve)
+
+    wl = sub.add_parser(
+        "workload", help="inspect and export factory workload regimes"
+    )
+    wl.add_argument(
+        "--list", action="store_true", help="list the named regimes"
+    )
+    wl.add_argument("--regime", help="named regime to instantiate")
+    wl.add_argument("--spec", help="workload spec JSON file to instantiate")
+    wl.add_argument(
+        "--seed", type=int, default=None, help="override the spec seed"
+    )
+    wl.add_argument(
+        "--emit-spec",
+        action="store_true",
+        help="print the spec as JSON instead of a summary",
+    )
+    wl.add_argument(
+        "--emit-document",
+        type=int,
+        default=None,
+        metavar="INDEX",
+        help="print generated document INDEX as XML",
+    )
+    wl.set_defaults(handler=cmd_workload)
 
     return parser
 

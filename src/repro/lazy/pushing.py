@@ -94,6 +94,7 @@ class BindingsOverlay:
 
     def __init__(self) -> None:
         self._entries: dict[tuple[int, int], list[OverlayRow]] = {}
+        self._positions: dict[int, list[tuple[Node, list[OverlayRow]]]] = {}
         self.row_count = 0
 
     def add(
@@ -121,6 +122,9 @@ class BindingsOverlay:
             overlay_rows.append(OverlayRow(values, nodes_by_uid))
         key = (id(position_node), pushed.target_uid)
         self._entries.setdefault(key, []).extend(overlay_rows)
+        self._positions.setdefault(pushed.target_uid, []).append(
+            (position_node, overlay_rows)
+        )
         self.row_count += len(overlay_rows)
 
     def lookup(self, dnode: Node, pnode: PatternNode) -> list[OverlayRow]:
@@ -136,6 +140,21 @@ class BindingsOverlay:
                 out.extend(self.lookup(dnode, alt))
             return out
         return []
+
+    def positions(
+        self, pnode: PatternNode
+    ) -> list[tuple[Node, list[OverlayRow]]]:
+        """Every ``(position, rows)`` recorded for the subtree at
+        ``pnode`` — the matcher filters by reachability for descendant
+        steps, where a reply received at a call deep in the document
+        stands for embeddings the walk from an ancestor would have found
+        in the spliced forest."""
+        origin = pnode.origin if pnode.origin is not None else pnode.uid
+        out = list(self._positions.get(origin, ()))
+        if pnode.is_or:
+            for alt in pnode.children:
+                out.extend(self.positions(alt))
+        return out
 
     def __bool__(self) -> bool:
         return bool(self._entries)

@@ -46,6 +46,9 @@ class OverlayLike(Protocol):
     def lookup(self, dnode: Node, pnode: PatternNode) -> list:
         ...
 
+    def positions(self, pnode: PatternNode) -> list:
+        ...
+
 
 @dataclasses.dataclass(frozen=True)
 class MatchOptions:
@@ -422,8 +425,34 @@ class Matcher:
         self._can_memo[key] = outcome
         return outcome
 
+    def _overlay_rows(self, child: PatternNode, dnode: Node) -> list:
+        """Overlay rows standing for embeddings of ``child`` when its
+        parent pattern node is matched at ``dnode``.
+
+        A bindings reply is recorded at the call's parent.  For a child
+        step that position must be ``dnode`` itself, but a descendant
+        step from ``dnode`` would have walked into the spliced forest of
+        any call position reachable below it — so those positions'
+        rows count too (same reachability rules as the walk:
+        scope and the function-parameter barrier).
+        """
+        overlay = self.overlay
+        if overlay is None:
+            return []
+        rows = list(overlay.lookup(dnode, child))
+        if child.edge is EdgeKind.DESCENDANT:
+            descend = self.options.descend_into_parameters
+            for position, extra in overlay.positions(child):
+                if not extra or position is dnode:
+                    continue
+                if position.is_function and not descend:
+                    continue  # a parameter forest: invisible to the walk
+                if self._strictly_below(position, dnode):
+                    rows.extend(extra)
+        return rows
+
     def _child_possible(self, child: PatternNode, dnode: Node) -> bool:
-        if self.overlay is not None and self.overlay.lookup(dnode, child):
+        if self.overlay is not None and self._overlay_rows(child, dnode):
             return True
         if child.edge is EdgeKind.CHILD:
             return any(
@@ -672,7 +701,7 @@ class Matcher:
                     enum_children, index + 1, dnode, env2, assigns + a2
                 )
         if self.overlay is not None:
-            for row in self.overlay.lookup(dnode, child):
+            for row in self._overlay_rows(child, dnode):
                 env2 = row.merge_env(env)
                 if env2 is None:
                     continue

@@ -24,9 +24,37 @@ from .queries import (
     hotels_rating_only_query,
     hotels_selective_query,
 )
+from .factory import (
+    FAULT_PLANS,
+    REGIMES,
+    FactoryService,
+    GeneratedWorkload,
+    WorkloadSpec,
+    fuzz_spec,
+    generate,
+    regime,
+)
+from .primitives import (
+    cloning_document_factory,
+    keyed_service,
+    registry_of,
+    static_service,
+)
 from .synthetic import SyntheticService, SyntheticWorld, make_world
 
 __all__ = [
+    "FAULT_PLANS",
+    "REGIMES",
+    "FactoryService",
+    "GeneratedWorkload",
+    "WorkloadSpec",
+    "cloning_document_factory",
+    "fuzz_spec",
+    "generate",
+    "keyed_service",
+    "regime",
+    "registry_of",
+    "static_service",
     "ALL_HOTELS_QUERIES",
     "HOTELS_SCHEMA_TEXT",
     "HotelsWorkloadParams",

@@ -16,15 +16,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..axml.builder import C, E, V, build_document
-from ..axml.document import Document
+from ..axml.builder import C, E, V
 from ..axml.node import Node
 from ..pattern.parse import parse_pattern
 from ..schema.schema import Schema
 from ..services.catalog import make_signature
-from ..services.registry import ServiceRegistry
 from ..services.service import Service
-from .hotels import Workload
+from .primitives import Workload, cloning_document_factory, registry_of
 
 
 class ChainService(Service):
@@ -77,7 +75,7 @@ def build_chain_workload(
         raise ValueError("chains need depth >= 2")
     if distinct_keys is not None and distinct_keys < 1:
         raise ValueError("distinct_keys must be >= 1")
-    registry = ServiceRegistry(
+    registry = registry_of(
         ChainService(level, depth, latency_s) for level in range(1, depth + 1)
     )
 
@@ -102,22 +100,16 @@ def build_chain_workload(
     def branch_key(b: int) -> str:
         return str(b if distinct_keys is None else b % distinct_keys)
 
-    def document_factory() -> Document:
-        return build_document(
-            E(
-                "chain",
-                *[
-                    E("branch", C("level1", V(branch_key(b))))
-                    for b in range(width)
-                ],
-            ),
-            name=f"chain(d={depth},w={width})",
-        )
+    branches = [
+        E("branch", C("level1", V(branch_key(b)))) for b in range(width)
+    ]
 
     return Workload(
         name=f"chain(depth={depth},width={width})",
         schema=schema,
         registry=registry,
         query=parse_pattern(query_text, name="chain-query"),
-        _document_factory=document_factory,
+        _document_factory=cloning_document_factory(
+            f"chain(d={depth},w={width})", "chain", branches
+        ),
     )

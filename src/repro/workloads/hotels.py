@@ -27,8 +27,26 @@ from ..pattern.parse import parse_pattern
 from ..pattern.pattern import TreePattern
 from ..schema.schema import Schema, parse_schema
 from ..services.catalog import StaticService, TableService, make_signature
-from ..services.registry import ServiceBus, ServiceRegistry
-from ..services.simulation import NetworkModel
+from ..services.registry import ServiceRegistry
+from .primitives import (
+    Workload,
+    cloning_document_factory,
+    keyed_service,
+    registry_of,
+    static_service,
+)
+
+__all__ = [
+    "HOTELS_SCHEMA_TEXT",
+    "HotelsWorkloadParams",
+    "PAPER_QUERY_TEXT",
+    "Workload",
+    "build_hotels_workload",
+    "figure_1_document",
+    "figure_1_registry",
+    "figure_1_schema",
+    "paper_query",
+]
 
 HOTELS_SCHEMA_TEXT = """
 functions:
@@ -82,23 +100,6 @@ class HotelsWorkloadParams:
     museums_per_hotel: int = 2
     service_latency_s: float = 0.05
     seed: int = 2004
-
-
-@dataclasses.dataclass
-class Workload:
-    """A ready-to-evaluate scenario: document, services, schema, query."""
-
-    name: str
-    schema: Schema
-    registry: ServiceRegistry
-    query: TreePattern
-    _document_factory: object
-
-    def make_document(self) -> Document:
-        return self._document_factory()  # type: ignore[operator]
-
-    def make_bus(self, network: Optional[NetworkModel] = None) -> ServiceBus:
-        return ServiceBus(self.registry, network=network)
 
 
 def build_hotels_workload(
@@ -199,47 +200,35 @@ def build_hotels_workload(
         for i in range(params.extra_hotels_via_service)
     ]
 
-    registry = ServiceRegistry(
+    latency = params.service_latency_s
+    registry = registry_of(
         [
-            TableService(
-                "getRating",
-                rating_table,
-                default=[V("0")],
-                signature=make_signature("getRating", "data", "data"),
-                latency_s=params.service_latency_s,
+            keyed_service(
+                "getRating", rating_table, "data",
+                default=[V("0")], latency_s=latency,
             ),
-            TableService(
-                "getNearbyRestos",
-                restos_table,
-                signature=make_signature("getNearbyRestos", "data", "restaurant*"),
-                latency_s=params.service_latency_s,
+            keyed_service(
+                "getNearbyRestos", restos_table, "restaurant*",
+                latency_s=latency,
             ),
-            TableService(
-                "getNearbyMuseums",
-                museums_table,
-                signature=make_signature("getNearbyMuseums", "data", "museum*"),
-                latency_s=params.service_latency_s,
+            keyed_service(
+                "getNearbyMuseums", museums_table, "museum*",
+                latency_s=latency,
             ),
-            StaticService(
-                "getHotels",
-                service_hotels,
-                signature=make_signature("getHotels", "data", "hotel*"),
-                latency_s=params.service_latency_s,
+            static_service(
+                "getHotels", service_hotels, "hotel*", latency_s=latency,
             ),
         ]
     )
-
-    def document_factory() -> Document:
-        trees = [tree.clone() for tree in extensional_hotels]
-        trees.append(C("getHotels", V("NY")))
-        return build_document(E("hotels", *trees), name="hotels")
 
     return Workload(
         name=f"hotels(n={params.n_hotels})",
         schema=schema,
         registry=registry,
         query=parse_pattern(PAPER_QUERY_TEXT, name="paper-query"),
-        _document_factory=document_factory,
+        _document_factory=cloning_document_factory(
+            "hotels", "hotels", [*extensional_hotels, C("getHotels", V("NY"))]
+        ),
     )
 
 

@@ -18,14 +18,17 @@ import dataclasses
 import random
 from typing import Optional
 
-from ..axml.builder import C, E, V, build_document
-from ..axml.document import Document
+from ..axml.builder import C, E, V
 from ..axml.node import Node
 from ..pattern.parse import parse_pattern
 from ..schema.schema import parse_schema
-from ..services.catalog import StaticService, TableService, make_signature
-from ..services.registry import ServiceRegistry
-from .hotels import Workload
+from .primitives import (
+    Workload,
+    cloning_document_factory,
+    keyed_service,
+    registry_of,
+    static_service,
+)
 
 NIGHTLIFE_SCHEMA_TEXT = """
 functions:
@@ -115,51 +118,32 @@ def build_nightlife_workload(
             )
         )
 
-    registry = ServiceRegistry(
+    latency = params.service_latency_s
+    registry = registry_of(
         [
-            TableService(
-                "getShows",
-                shows_table,
-                signature=make_signature("getShows", "data", "show*"),
-                latency_s=params.service_latency_s,
+            keyed_service("getShows", shows_table, "show*", latency_s=latency),
+            keyed_service(
+                "getReviews", reviews_table, "review*", latency_s=latency
             ),
-            TableService(
-                "getReviews",
-                reviews_table,
-                signature=make_signature("getReviews", "data", "review*"),
-                latency_s=params.service_latency_s,
+            static_service(
+                "getRestaurantList", restaurants, "restaurant*",
+                latency_s=latency,
             ),
-            StaticService(
-                "getRestaurantList",
-                restaurants,
-                signature=make_signature(
-                    "getRestaurantList", "data", "restaurant*"
-                ),
-                latency_s=params.service_latency_s,
-            ),
-            TableService(
-                "getMenu",
-                menu_table,
-                signature=make_signature("getMenu", "data", "dish*"),
-                latency_s=params.service_latency_s,
-            ),
+            keyed_service("getMenu", menu_table, "dish*", latency_s=latency),
         ]
     )
-
-    def document_factory() -> Document:
-        return build_document(
-            E(
-                "goingout",
-                E("movies", *[t.clone() for t in theaters]),
-                E("restaurants", C("getRestaurantList", V("NY"))),
-            ),
-            name="goingout",
-        )
 
     return Workload(
         name=f"nightlife(t={params.n_theaters},r={params.n_restaurants})",
         schema=schema,
         registry=registry,
         query=parse_pattern(NIGHTLIFE_QUERY_TEXT, name="nightlife-query"),
-        _document_factory=document_factory,
+        _document_factory=cloning_document_factory(
+            "goingout",
+            "goingout",
+            [
+                E("movies", *theaters),
+                E("restaurants", C("getRestaurantList", V("NY"))),
+            ],
+        ),
     )

@@ -1,0 +1,100 @@
+"""Shared building blocks for workload generators.
+
+Every workload module used to carry its own copy of the same three
+ingredients: a ``Workload`` bundle, registry assembly over keyed mock
+tables, and a clone-based document factory.  They live here once now —
+``hotels``/``chains``/``nightlife`` are thin presets over these
+primitives, and ``factory`` builds arbitrary declarative scenarios from
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..axml.builder import E, build_document
+from ..axml.document import Document
+from ..axml.node import Node
+from ..pattern.pattern import TreePattern
+from ..schema.schema import Schema
+from ..services.catalog import StaticService, TableService, make_signature
+from ..services.registry import ServiceBus, ServiceRegistry
+from ..services.simulation import NetworkModel
+
+
+@dataclasses.dataclass
+class Workload:
+    """A ready-to-evaluate scenario: document, services, schema, query."""
+
+    name: str
+    schema: Optional[Schema]
+    registry: ServiceRegistry
+    query: TreePattern
+    _document_factory: object
+
+    def make_document(self) -> Document:
+        return self._document_factory()  # type: ignore[operator]
+
+    def make_bus(self, network: Optional[NetworkModel] = None) -> ServiceBus:
+        return ServiceBus(self.registry, network=network)
+
+
+def keyed_service(
+    name: str,
+    table: dict[str, list[Node]],
+    out: str,
+    *,
+    default: Optional[list[Node]] = None,
+    latency_s: float = 0.05,
+    in_type: str = "data",
+) -> TableService:
+    """A keyed mock service (a function of its parameter) with a typed
+    signature — the standard offline stand-in for a SOAP endpoint."""
+    return TableService(
+        name,
+        table,
+        default=default,
+        signature=make_signature(name, in_type, out),
+        latency_s=latency_s,
+    )
+
+
+def static_service(
+    name: str,
+    forest: list[Node],
+    out: str,
+    *,
+    latency_s: float = 0.05,
+    in_type: str = "data",
+) -> StaticService:
+    """A constant-result mock service with a typed signature."""
+    return StaticService(
+        name,
+        forest,
+        signature=make_signature(name, in_type, out),
+        latency_s=latency_s,
+    )
+
+
+def cloning_document_factory(
+    name: str, root_label: str, trees: Sequence[Node]
+) -> Callable[[], Document]:
+    """A document factory that clones prebuilt subtrees under a fresh
+    root — each call yields a structurally identical, independent
+    document (the twin-document idiom the differential harnesses rely
+    on)."""
+    template = tuple(trees)
+
+    def factory() -> Document:
+        return build_document(
+            E(root_label, *[tree.clone() for tree in template]), name=name
+        )
+
+    return factory
+
+
+def registry_of(services: Iterable) -> ServiceRegistry:
+    """Assemble a registry (a trivial alias that keeps call sites
+    declarative)."""
+    return ServiceRegistry(services)

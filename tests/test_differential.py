@@ -394,3 +394,96 @@ def test_maintained_answers_match_full_reevaluation(
         assert logs(m_bus) == logs(o_bus), f"step {step}"
     maintained.close()
     oracle.close()
+
+
+# ---------------------------------------------------------------------------
+# Factory-driven regimes: the hostile scenarios, fuzz-sized
+# ---------------------------------------------------------------------------
+
+from repro.workloads.factory import fuzz_spec, generate  # noqa: E402
+
+# Regimes whose hostile *shape* survives fuzz-sizing (fault-plan regimes
+# are covered by the plan axis above; serving regimes live in
+# test_serve_differential).
+FUZZ_REGIMES = (
+    "baseline",
+    "deep-recursion",
+    "wide-flat",
+    "bindings-push",
+    "cache-flood",
+    "multi-root-standing",
+)
+
+LOG_PINNED_CONFIGS = ("lazy+incremental", "lazy+shared", "lazy+shared+inc")
+
+
+def _factory_log(bus: ServiceBus):
+    return [
+        (r.service_name, r.call_node_id, r.fault) for r in bus.log.records
+    ]
+
+
+@given(
+    name=st.sampled_from(FUZZ_REGIMES),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+def test_factory_regimes_agree_with_naive(name, seed):
+    """Every engine configuration, pinned to the naive oracle on every
+    query of a factory regime — the hostile shapes (recursion, BINDINGS
+    pushing, multi-child roots, key floods) included."""
+    gen = generate(fuzz_spec(name, seed))
+    for qi in range(gen.spec.n_queries):
+        query = gen.query_for(qi)
+        doc = gen.document_for_query(qi)
+        reference = gen.oracle(query, doc).value_rows()
+        base_out, base_log = gen.evaluate(
+            query, doc, strategy=Strategy.LAZY_NFQ
+        )
+        assert base_out.value_rows() == reference, (name, qi, "lazy")
+        for label, kwargs in CONFIGS.items():
+            if label in ("naive", "lazy"):
+                continue
+            out, log = gen.evaluate(query, doc, **kwargs)
+            assert out.value_rows() == reference, (name, qi, label)
+            if label in LOG_PINNED_CONFIGS:
+                # Invocation-invisible optimizations must also replay
+                # the exact call sequence (both engines fall back
+                # identically under a BINDINGS overlay).
+                assert log == base_log, (name, qi, label)
+
+
+@given(
+    name=st.sampled_from(
+        ("baseline", "deep-recursion", "multi-root-standing")
+    ),
+    seed=st.integers(min_value=0, max_value=2_000),
+    n_mutations=st.integers(min_value=1, max_value=3),
+)
+def test_factory_maintenance_agrees(name, seed, n_mutations):
+    """Maintained standing queries over factory mutation traces: same
+    rows, same cumulative logs as the unmaintained twin — including the
+    multi-child-root regime, where the AnswerCache must survive its
+    full-rematch fallback."""
+    gen = generate(fuzz_spec(name, seed))
+    query = gen.query_for(0)
+
+    def standing(maintain: bool):
+        bus = ServiceBus(gen.registry())
+        config = gen.engine_config(
+            strategy=Strategy.LAZY_NFQ, maintain_answers=maintain
+        )
+        engine = LazyQueryEvaluator(bus, config=config)
+        return ContinuousQuery(engine, query, gen.make_document(0)), bus
+
+    kept, kept_bus = standing(True)
+    full, full_bus = standing(False)
+    if name == "multi-root-standing" and kept.answer_cache is not None:
+        assert kept.answer_cache._scoped is False
+    for step in range(n_mutations):
+        gen.apply_mutation(str(step), (kept.document, full.document))
+        assert (
+            kept.refresh().value_rows() == full.refresh().value_rows()
+        ), (name, step)
+        assert _factory_log(kept_bus) == _factory_log(full_bus), (name, step)
+    kept.close()
+    full.close()

@@ -1,0 +1,301 @@
+"""The workload factory itself: determinism, regime invariants, and the
+fallback paths the regimes exist to reach.
+
+The factory's contract is that every artefact is a pure function of the
+spec — two `GeneratedWorkload`s over equal specs must agree
+byte-for-byte on documents, service results, queries, and traces.  On
+top of that, each named regime must actually *be* what its description
+claims (recursion must reach the projection screen, the distinct-key
+flood must starve the cache, multi-child roots must defeat AnswerCache
+scoping, BINDINGS pushing must record overlay rows), and the fallback
+paths those shapes trigger must stay invisible next to the naive
+oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lazy.config import EngineConfig, Strategy
+from repro.lazy.continuous import ContinuousQuery
+from repro.lazy.engine import LazyQueryEvaluator
+from repro.services.service import PushMode
+from repro.workloads.factory import (
+    REGIMES,
+    GeneratedWorkload,
+    WorkloadSpec,
+    fuzz_spec,
+    generate,
+    regime,
+)
+
+# ---------------------------------------------------------------------------
+# Determinism and spec plumbing
+# ---------------------------------------------------------------------------
+
+
+def _structure(node):
+    return (node.kind, node.label, tuple(_structure(c) for c in node.children))
+
+
+def test_generation_is_a_pure_function_of_the_spec():
+    """Two workloads over equal specs agree on every artefact."""
+    spec = REGIMES["baseline"]
+    a, b = generate(spec), generate(spec)
+    assert _structure(a.make_document(0).root) == _structure(
+        b.make_document(0).root
+    )
+    assert [q.to_string() for q in a.queries()] == [
+        q.to_string() for q in b.queries()
+    ]
+    assert a.result_forest("svc0", "1:x") is not None
+    assert [_structure(n) for n in a.result_forest("svc0", "1:x")] == [
+        _structure(n) for n in b.result_forest("svc0", "1:x")
+    ]
+    assert a.arrival_trace() == b.arrival_trace()
+    # And documents rebuild identically across calls (the twin idiom).
+    assert _structure(a.make_document(0).root) == _structure(
+        a.make_document(0).root
+    )
+
+
+def test_different_seeds_change_the_world():
+    base = generate(REGIMES["baseline"])
+    other = regime("baseline", seed=REGIMES["baseline"].seed + 1)
+    assert _structure(base.make_document(0).root) != _structure(
+        other.make_document(0).root
+    )
+
+
+def test_spec_round_trips_through_json():
+    for spec in REGIMES.values():
+        assert WorkloadSpec.from_json(spec.to_json()) == spec
+    with pytest.raises(ValueError):
+        WorkloadSpec.from_json({"name": "x", "no_such_field": 1})
+
+
+def test_fuzz_specs_stay_small():
+    for name in REGIMES:
+        spec = fuzz_spec(name, seed=7)
+        gen = generate(spec)
+        assert gen.make_document(0).root.subtree_size() < 5_000
+        assert spec.seed == 7
+
+
+# ---------------------------------------------------------------------------
+# Regime invariants: each regime is what it claims to be
+# ---------------------------------------------------------------------------
+
+
+def test_regimes_cover_the_required_adversaries():
+    names = set(REGIMES)
+    assert len(names) >= 8
+    assert {
+        "deep-recursion",
+        "bindings-push",
+        "cache-flood",
+        "multi-root-standing",
+        "bursty-tenants",
+        "large-document",
+    } <= names
+    for name, spec in REGIMES.items():
+        assert spec.name == name
+        assert spec.description
+
+
+def test_large_document_regime_reaches_100k_nodes():
+    gen = regime("large-document")
+    assert gen.make_document(0).root.subtree_size() >= 100_000
+
+
+def test_cache_flood_keys_are_distinct():
+    gen = regime("cache-flood")
+    document = gen.make_document(0)
+    keys = [
+        (call.label, call.children[0].label)
+        for call in document.function_nodes()
+    ]
+    assert len(keys) > 50
+    assert len(set(keys)) == len(keys), "flood keys must not repeat"
+
+
+def test_multi_root_regime_queries_have_multi_child_roots():
+    gen = regime("multi-root-standing")
+    for i in range(gen.spec.n_queries):
+        assert len(gen.query_for(i).root.children) >= 2
+
+
+def test_bursty_trace_is_jittered_not_lockstep():
+    gen = regime("bursty-tenants")
+    trace = gen.arrival_trace()
+    assert len(trace) == gen.spec.n_rounds
+    n_docs = gen.spec.n_documents
+    assert any(len(due) < n_docs for due in trace), "never jitters"
+    assert any(due for due in trace), "nothing ever arrives"
+
+
+def test_recursive_regime_prunes_projection():
+    """The regression ISSUE 8 asks for: recursive data must reach the
+    projection screen and actually skip cold subtrees (E12 always
+    reported this counter as zero), without changing a single row."""
+    gen = regime("deep-recursion")
+    query = gen.query_for(0)
+    per_query, pq_log = gen.evaluate(query, strategy=Strategy.LAZY_NFQ)
+    shared, sh_log = gen.evaluate(
+        query, strategy=Strategy.LAZY_NFQ, shared_matching=True
+    )
+    assert shared.value_rows() == per_query.value_rows()
+    assert sh_log == pq_log
+    assert shared.metrics.group_passes > 0
+    assert shared.metrics.projection_skipped_subtrees > 0
+
+
+# ---------------------------------------------------------------------------
+# Fallback path: multi-child-root answer maintenance (AnswerCache)
+# ---------------------------------------------------------------------------
+
+
+def test_multi_child_root_maintenance_takes_the_fallback():
+    """A standing query with a multi-child root defeats AnswerCache
+    scoping: every relevant splice dirties the whole cache and forces a
+    full re-match — which must stay invisible next to the naive oracle
+    and the unmaintained twin."""
+    gen = regime("multi-root-standing")
+    query = gen.query_for(0)
+
+    def standing(maintain):
+        bus = gen.make_bus()
+        config = gen.engine_config(
+            strategy=Strategy.LAZY_NFQ, maintain_answers=maintain
+        )
+        engine = LazyQueryEvaluator(bus, config=config)
+        return ContinuousQuery(engine, query, gen.make_document(0)), bus
+
+    kept, kept_bus = standing(True)
+    full, full_bus = standing(False)
+    cache = kept.answer_cache
+    assert cache is not None
+    assert cache._scoped is False, "multi-child root must defeat scoping"
+
+    for step in gen.mutation_trace():
+        gen.apply_mutation(step, (kept.document, full.document))
+        assert kept.refresh().value_rows() == full.refresh().value_rows()
+        assert [
+            (r.service_name, r.call_node_id) for r in kept_bus.log.records
+        ] == [(r.service_name, r.call_node_id) for r in full_bus.log.records]
+
+    counters = cache.counters()
+    assert counters["full_matches"] > 0, "the fallback never fired"
+    # The final maintained rows equal the from-scratch naive answer.
+    assert set(kept.refresh().value_rows()) == gen.oracle_rows(query)
+    kept.close()
+    full.close()
+
+
+# ---------------------------------------------------------------------------
+# Fallback paths: BINDINGS overlays (engine + continuous queries)
+# ---------------------------------------------------------------------------
+
+
+def test_bindings_regime_records_overlay_rows_and_matches_naive():
+    """BINDINGS pushing must engage (overlay rows recorded, on at least
+    one query of the regime's set) while returning exactly the naive
+    oracle's rows — including rows whose replies land at call positions
+    *deep* in the document, visible only to descendant steps."""
+    gen = regime("bindings-push")
+    assert gen.engine_config().push_mode is PushMode.BINDINGS
+    total_overlay_rows = 0
+    for i in range(gen.spec.n_queries):
+        query = gen.query_for(i)
+        out, _ = gen.evaluate(query, strategy=Strategy.LAZY_NFQ)
+        assert out.overlay is not None
+        total_overlay_rows += out.overlay.row_count
+        assert set(out.value_rows()) == gen.oracle_rows(query), i
+    assert total_overlay_rows > 0, "pushing never engaged"
+
+
+def test_bindings_overlay_disables_shared_matching_and_maintenance():
+    """Under a BINDINGS overlay the engine must take its fallback
+    paths: no group passes even with shared_matching on, no AnswerCache
+    attached even with maintain_answers on — and both stay correct."""
+    gen = regime("bindings-push")
+    query = gen.query_for(1)  # a query known to record overlay rows
+    reference = gen.oracle_rows(query)
+
+    shared, _ = gen.evaluate(
+        query,
+        strategy=Strategy.LAZY_NFQ,
+        shared_matching=True,
+        incremental=True,
+    )
+    assert set(shared.value_rows()) == reference
+    assert shared.metrics.group_passes == 0, "overlay must force per-query"
+    assert shared.metrics.relevance_cache_hits == 0
+
+    bus = gen.make_bus()
+    config = gen.engine_config(
+        strategy=Strategy.LAZY_NFQ, maintain_answers=True
+    )
+    engine = LazyQueryEvaluator(bus, config=config)
+    loop = ContinuousQuery(engine, query, gen.make_document(0))
+    assert loop.answer_cache is None, "overlay must disable maintenance"
+    assert set(loop.refresh().value_rows()) == reference
+    loop.close()
+
+
+def test_overlay_rows_at_deep_positions_reach_descendant_steps():
+    """Regression for the overlay-visibility bug the bindings regime
+    flushed out: a reply recorded at a call position deep in the
+    document stands for embeddings a *descendant* step from any
+    ancestor would have found in the spliced forest.  Matching with the
+    overlay must agree with naive materialisation even when the pushed
+    call sits levels below the node the descendant step is consulted
+    at."""
+    spec = WorkloadSpec(
+        name="deep-overlay",
+        seed=10,
+        push_bindings=True,
+        variable_probability=1.0,
+        call_probability=0.5,
+        root_subtrees=(2, 4),
+    )
+    gen = GeneratedWorkload(spec)
+    checked = 0
+    for doc_index in range(3):
+        for qi in range(3):
+            query = gen.query_for(qi)
+            out, _ = gen.evaluate(
+                query, doc_index, strategy=Strategy.LAZY_NFQ
+            )
+            naive = gen.oracle_rows(query, doc_index)
+            assert set(out.value_rows()) == naive, (doc_index, qi)
+            checked += 1
+    assert checked == 9
+
+
+# ---------------------------------------------------------------------------
+# Interop
+# ---------------------------------------------------------------------------
+
+
+def test_as_workload_view_evaluates():
+    gen = regime("baseline")
+    workload = gen.as_workload()
+    bus = workload.make_bus()
+    engine = LazyQueryEvaluator(
+        bus, config=EngineConfig(strategy=Strategy.LAZY_NFQ)
+    )
+    outcome = engine.evaluate(workload.query, workload.make_document())
+    assert set(outcome.value_rows()) == gen.oracle_rows(workload.query)
+
+
+def test_fault_regimes_wrap_the_registry():
+    transient = regime("flaky-retry").registry()
+    names = sorted(transient.names())
+    assert names == [f"svc{k}" for k in range(REGIMES["flaky-retry"].n_services)]
+    # Fresh registries carry fresh fault state: two evaluations of the
+    # same faulty regime must not contaminate each other.
+    gen = regime("flaky-retry")
+    first = gen.oracle_rows()
+    second = gen.oracle_rows()
+    assert first == second

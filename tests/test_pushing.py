@@ -153,3 +153,53 @@ def test_push_suppressed_when_positions_are_shared():
     assert len(out.rows) == 1
     # Both x and y NFQs sit at /root: no pushing happened.
     assert all(r.push_mode == "none" for r in bus.log.records)
+
+
+def test_deep_position_bindings_reach_descendant_steps():
+    """Regression: a bindings reply recorded at a call position *deep*
+    in the document (here two levels down, under an ``epsilon``) stands
+    for embeddings that a descendant step consulted at an ancestor
+    would have found in the spliced forest.  The overlay used to key
+    rows by exact position only, so ``//beta`` evaluated at the root
+    never saw them and the query silently lost rows."""
+
+    def make_doc():
+        return build_document(
+            E(
+                "root",
+                E("beta", E("epsilon", C("getBeta", V("k")))),
+                E("beta", V("1")),
+            ),
+            name="deep-push",
+        )
+
+    def make_bus():
+        return ServiceBus(
+            ServiceRegistry(
+                [
+                    StaticService(
+                        "getBeta",
+                        [E("beta", V("alpha")), E("beta", V("2"))],
+                    )
+                ]
+            )
+        )
+
+    query = parse_pattern("/root[//beta=$X][beta]", result_variables=["X"])
+
+    naive = LazyQueryEvaluator(
+        make_bus(), config=EngineConfig(strategy=Strategy.NAIVE)
+    ).evaluate(query, make_doc())
+
+    config = EngineConfig(
+        strategy=Strategy.LAZY_NFQ, push_mode=PushMode.BINDINGS
+    )
+    pushed = LazyQueryEvaluator(make_bus(), config=config).evaluate(
+        query, make_doc()
+    )
+    # The reply must actually have been recorded in the overlay (at the
+    # epsilon position, below the node the descendant step starts from).
+    assert pushed.overlay is not None and pushed.overlay.row_count >= 1
+    assert pushed.value_rows() == naive.value_rows()
+    assert ("alpha",) in pushed.value_rows()
+    assert ("2",) in pushed.value_rows()
