@@ -27,10 +27,17 @@ from .node import Node
 
 
 class LabelIndex:
-    """Live node sets per label, kept in sync via the observer hook."""
+    """Live node sets per label, kept in sync via the observer hook.
 
-    def __init__(self, document: Document) -> None:
+    ``arena`` (a :class:`~repro.axml.arena.DocumentArena` mirroring the
+    same document) lets :meth:`rebuild` fill the buckets from one loop
+    over the int columns instead of an object traversal — same buckets,
+    built without touching node objects except to store them.
+    """
+
+    def __init__(self, document: Document, arena: Optional[object] = None) -> None:
         self.document = document
+        self.arena = arena
         self.labels: dict[str, dict[int, Node]] = {}
         self.functions: dict[str, dict[int, Node]] = {}
         self.splices_applied = 0
@@ -46,10 +53,22 @@ class LabelIndex:
     # -- construction / maintenance ----------------------------------------
 
     def rebuild(self) -> None:
-        """One document-order traversal (linear time)."""
+        """One document-order traversal (linear time).
+
+        With an arena attached (and still mirroring this document) the
+        traversal is replaced by a column sweep.
+        """
+        self.splices_applied = 0
+        arena = self.arena
+        if (
+            arena is not None
+            and getattr(arena, "document", None) is self.document
+            and arena.slot_for(self.document.root) is not None
+        ):
+            self.labels, self.functions = arena.rebuild_index_buckets()
+            return
         self.labels = {}
         self.functions = {}
-        self.splices_applied = 0
         for node in self.document.iter_nodes():
             self._add(node)
 

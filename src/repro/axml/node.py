@@ -213,18 +213,28 @@ class Node:
         )
 
     def pretty(self, indent: int = 0) -> str:
-        """Human-readable indented rendering of the subtree."""
-        pad = "  " * indent
-        if self.is_value:
-            line = f'{pad}"{self.label}"'
-        elif self.is_function:
-            line = f"{pad}@{self.label}()"
-        else:
-            line = f"{pad}<{self.label}>"
-        if self.node_id is not None:
-            line += f"  #{self.node_id}"
-        parts = [line]
-        parts.extend(child.pretty(indent + 1) for child in self.children)
+        """Human-readable indented rendering of the subtree.
+
+        Iterative, so arbitrarily deep documents render without hitting
+        the interpreter's recursion limit.
+        """
+        parts = []
+        stack = [(self, indent)]
+        while stack:
+            node, level = stack.pop()
+            pad = "  " * level
+            if node.is_value:
+                line = f'{pad}"{node.label}"'
+            elif node.is_function:
+                line = f"{pad}@{node.label}()"
+            else:
+                line = f"{pad}<{node.label}>"
+            if node.node_id is not None:
+                line += f"  #{node.node_id}"
+            parts.append(line)
+            stack.extend(
+                (child, level + 1) for child in reversed(node.children)
+            )
         return "\n".join(parts)
 
 

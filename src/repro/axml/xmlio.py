@@ -19,8 +19,9 @@ Example::
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import Iterable
+from typing import Iterable, Optional
 
+from .arena import FootprintLike, project_tree
 from .document import Document
 from .node import Activation, Node, call, element, value
 
@@ -32,55 +33,79 @@ _MODE_ATTR = "mode"
 ET.register_namespace("axml", AXML_NAMESPACE)
 
 
-def to_etree(node: Node) -> ET.Element:
-    """Convert an AXML node to an ElementTree element."""
-    if node.is_value:
-        raise ValueError("a bare value node has no element representation")
+def _element_shell(node: Node) -> ET.Element:
+    """An empty ElementTree element for one (non-value) AXML node."""
     if node.is_function:
         attributes = {_SERVICE_ATTR: node.label}
         if node.activation is not Activation.LAZY:
             attributes[_MODE_ATTR] = node.activation.value
-        out = ET.Element(_CALL_TAG, attributes)
-    else:
-        out = ET.Element(node.label)
+        return ET.Element(_CALL_TAG, attributes)
+    return ET.Element(node.label)
+
+
+def to_etree(node: Node) -> ET.Element:
+    """Convert an AXML node to an ElementTree element.
+
+    Iterative, so arbitrarily deep documents serialise without hitting
+    the interpreter's recursion limit.
+    """
+    if node.is_value:
+        raise ValueError("a bare value node has no element representation")
+    out = _element_shell(node)
     _fill_children(out, node.children)
     return out
 
 
 def _fill_children(out: ET.Element, children: Iterable[Node]) -> None:
-    previous: ET.Element | None = None
-    for child in children:
-        if child.is_value:
-            if previous is None:
-                out.text = (out.text or "") + child.label
+    stack: list[tuple[ET.Element, Iterable[Node]]] = [(out, children)]
+    while stack:
+        dst, kids = stack.pop()
+        previous: ET.Element | None = None
+        for child in kids:
+            if child.is_value:
+                if previous is None:
+                    dst.text = (dst.text or "") + child.label
+                else:
+                    previous.tail = (previous.tail or "") + child.label
             else:
-                previous.tail = (previous.tail or "") + child.label
-        else:
-            sub = to_etree(child)
-            out.append(sub)
-            previous = sub
+                sub = _element_shell(child)
+                dst.append(sub)
+                previous = sub
+                stack.append((sub, child.children))
 
 
-def from_etree(elem: ET.Element) -> Node:
-    """Convert an ElementTree element back to an AXML node."""
+def _node_shell(elem: ET.Element) -> Node:
+    """A childless AXML node for one ElementTree element."""
     if elem.tag == _CALL_TAG:
         service_name = elem.get(_SERVICE_ATTR)
         if not service_name:
             raise ValueError("axml:call element is missing its service attribute")
-        node = call(
+        return call(
             service_name,
             activation=Activation(elem.get(_MODE_ATTR, Activation.LAZY.value)),
         )
-    else:
-        node = element(elem.tag)
-    text = (elem.text or "").strip()
-    if text:
-        node.append(value(text))
-    for sub in elem:
-        node.append(from_etree(sub))
-        tail = (sub.tail or "").strip()
-        if tail:
-            node.append(value(tail))
+    return element(elem.tag)
+
+
+def from_etree(elem: ET.Element) -> Node:
+    """Convert an ElementTree element back to an AXML node.
+
+    Iterative for the same deep-document reason as :func:`to_etree`.
+    """
+    node = _node_shell(elem)
+    stack = [(elem, node)]
+    while stack:
+        src, dst = stack.pop()
+        text = (src.text or "").strip()
+        if text:
+            dst.append(value(text))
+        for sub in src:
+            child = _node_shell(sub)
+            dst.append(child)
+            stack.append((sub, child))
+            tail = (sub.tail or "").strip()
+            if tail:
+                dst.append(value(tail))
     return node
 
 
@@ -101,9 +126,27 @@ def parse(text: str) -> Node:
     return from_etree(ET.fromstring(text))
 
 
-def parse_document(text: str, name: str = "document") -> Document:
-    """Parse an XML string into a full :class:`Document`."""
-    return Document(parse(text), name=name)
+def parse_document(
+    text: str,
+    name: str = "document",
+    project: Optional[FootprintLike] = None,
+) -> Document:
+    """Parse an XML string into a full :class:`Document`.
+
+    ``project`` applies load-time projection between parsing and id
+    assignment — cold subtrees of the parsed tree are dropped before
+    the document materialises (see
+    :func:`~repro.axml.arena.project_tree`); the document then carries
+    ``projection_pruned_at_load``.
+    """
+    root = parse(text)
+    pruned = 0
+    if project is not None:
+        root, pruned = project_tree(root, project)
+    document = Document(root, name=name)
+    if project is not None:
+        document.projection_pruned_at_load = pruned
+    return document
 
 
 def serialize_document(document: Document) -> str:

@@ -163,6 +163,8 @@ def _build_config(args: argparse.Namespace, trace=None) -> EngineConfig:
         call_cache_ttl_s=getattr(args, "call_cache_ttl", None),
         incremental=getattr(args, "incremental", False),
         shared_matching=getattr(args, "shared_matching", False),
+        arena=getattr(args, "arena", False),
+        shards=getattr(args, "shards", 1),
         maintain_answers=getattr(args, "maintain_answers", False),
         trace=trace,
     )
@@ -536,6 +538,24 @@ def build_parser() -> argparse.ArgumentParser:
         "relevance queries together in one projected group pass "
         "instead of one traversal per query (--no-shared-matching "
         "restores the per-query oracle walker)",
+    )
+    ev.add_argument(
+        "--arena",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="column-backed matching: mirror the document into a "
+        "struct-of-arrays arena and serve the hot traversals as tight "
+        "int-column scans (--no-arena restores the object walk, the "
+        "differential oracle)",
+    )
+    ev.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard-parallel group passes: partition the root's depth-1 "
+        "subtrees into this many ranges and scan them concurrently, "
+        "merging answers deterministically (needs --shared-matching; "
+        "1 keeps the single full pass)",
     )
     ev.add_argument(
         "--maintain-answers",

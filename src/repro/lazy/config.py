@@ -159,6 +159,27 @@ class EngineConfig:
     non-lazy strategies and under ``push_mode=BINDINGS`` (overlay
     lookups are keyed by the actual pattern node, which canonical
     sharing would conflate)."""
+    arena: bool = False
+    """Column-backed matching: mirror the document into a
+    :class:`~repro.axml.arena.DocumentArena` (struct-of-arrays over
+    interned label ids, maintained through splice deltas) and serve the
+    hot traversals — descendant candidate enumeration, exists-below
+    checks, group-pass projection, label-index rebuilds — as tight
+    loops over the int columns instead of object walks.  Never changes
+    answers; opt-in so the object walk stays available as the
+    differential oracle.  An arena already attached to the document (as
+    ``document.arena``, e.g. by the workload factory) is reused;
+    otherwise the engine builds one per evaluation and detaches it at
+    teardown."""
+    shards: int = 1
+    """Shard-parallel group passes: partition the document root's
+    depth-1 subtrees into this many contiguous ranges and dispatch one
+    scoped group scan per range through the bus scheduler vocabulary,
+    composing the per-shard answers deterministically in shard index
+    order (``repro.pattern.shards``).  1 (the default) keeps the single
+    full pass; > 1 requires ``shared_matching`` to have a group pass to
+    shard, and stands down to one pass whenever the scoped-composition
+    law does not cover the member family."""
     maintain_answers: bool = False
     """Delta-driven answer maintenance for continuous queries
     (``repro.lazy.answers``): materialise the standing query's snapshot
@@ -203,6 +224,7 @@ class EngineConfig:
         "call_cache",
         "incremental",
         "shared_matching",
+        "arena",
         "maintain_answers",
     )
 
@@ -223,7 +245,7 @@ class EngineConfig:
                     f"EngineConfig.{name} must be a bool, "
                     f"got {getattr(self, name)!r}"
                 )
-        for name in ("max_invocations", "max_rounds", "max_concurrency"):
+        for name in ("max_invocations", "max_rounds", "max_concurrency", "shards"):
             bound = getattr(self, name)
             if not isinstance(bound, int) or isinstance(bound, bool) or bound < 1:
                 raise ValueError(
@@ -357,6 +379,10 @@ class EngineConfig:
             parts.append("inc")
         if self.shared_matching:
             parts.append("shared")
+        if self.arena:
+            parts.append("arena")
+        if self.shards > 1:
+            parts.append(f"shard{self.shards}")
         if self.maintain_answers:
             parts.append("ans")
         return "+".join(parts)

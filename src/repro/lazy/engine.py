@@ -25,6 +25,7 @@ import dataclasses
 import time
 from typing import Optional
 
+from ..axml.arena import DocumentArena
 from ..axml.document import Document
 from ..axml.index import LabelIndex
 from ..axml.node import Activation, Node
@@ -46,6 +47,7 @@ from ..obs.trace import (
 from ..schema import automata
 from ..pattern.match import Matcher, MatchCounter, MatchOptions, MatchSet
 from ..pattern.multimatch import PatternGroup
+from ..pattern.shards import ShardedPatternGroup
 from ..pattern.nodes import EdgeKind, PatternNode
 from ..pattern.pattern import TreePattern
 from ..schema.graphschema import LenientSatisfiability
@@ -262,6 +264,22 @@ class _EvaluationState:
             else None
         )
         self.fguide: Optional[FGuide] = None
+        self.arena: Optional[DocumentArena] = None
+        self._arena_owned = False
+        if self.config.arena and self.config.strategy is not Strategy.NAIVE:
+            # Reuse an arena already mirroring this document (the
+            # workload factory attaches one at build time); otherwise
+            # build our own and detach it at teardown.
+            attached = getattr(document, "arena", None)
+            if (
+                isinstance(attached, DocumentArena)
+                and attached.document is document
+                and attached.slot_for(document.root) is not None
+            ):
+                self.arena = attached
+            else:
+                self.arena = DocumentArena(document)
+                self._arena_owned = True
         self.index: Optional[LabelIndex] = None
         self.rcache: Optional[RelevanceCache] = None
         if (
@@ -272,7 +290,7 @@ class _EvaluationState:
             # Overlay rows change match results without any document
             # event, so memoized relevance sets would go stale silently
             # — incremental mode stays off under pushed bindings.
-            self.index = LabelIndex(document)
+            self.index = LabelIndex(document, arena=self.arena)
             self.rcache = RelevanceCache(document)
         self.answer_cache: Optional[AnswerCache] = None
         self._answer_counters: dict[str, int] = {}
@@ -297,8 +315,8 @@ class _EvaluationState:
             # The group pass keeps a label index of its own (projection
             # sources + descendant steps) when incremental mode did not
             # already build one.
-            self._shared_index = LabelIndex(document)
-        self._group: Optional[PatternGroup] = None
+            self._shared_index = LabelIndex(document, arena=self.arena)
+        self._group: "Optional[PatternGroup | ShardedPatternGroup]" = None
         self._group_key: Optional[tuple] = None
         self._matchers: dict[int, Matcher] = {}
         self._nodes_by_uid = {n.uid: n for n in query.nodes()}
@@ -323,6 +341,8 @@ class _EvaluationState:
             self.index.detach()
         if self._shared_index is not None:
             self._shared_index.detach()
+        if self.arena is not None and self._arena_owned:
+            self.arena.detach()
 
     def finalize_metrics(self, rows: MatchSet) -> None:
         metrics = self.metrics
@@ -331,6 +351,12 @@ class _EvaluationState:
         metrics.match_can_checks = self.match_counter.can_checks
         metrics.match_candidates_visited = self.match_counter.candidates_visited
         metrics.index_candidates = self.match_counter.index_candidates
+        if self.arena is not None:
+            metrics.arena_nodes = self.arena.live_nodes
+            metrics.arena_bytes = self.arena.column_bytes()
+        metrics.projection_pruned_at_load = getattr(
+            self.document, "projection_pruned_at_load", 0
+        )
         if self.rcache is not None:
             metrics.relevance_cache_hits = self.rcache.hits
             metrics.queries_reevaluated = self.rcache.reevaluations
@@ -698,6 +724,8 @@ class _EvaluationState:
             self.metrics.group_passes += 1
             self.metrics.group_pass_nodes_visited += result.nodes_visited
             self.metrics.projection_skipped_subtrees += result.skipped_subtrees
+            self.metrics.shard_passes += getattr(result, "shard_passes", 0)
+            self.metrics.shard_merge_rows += getattr(result, "merge_rows", 0)
             for rquery in fresh:
                 calls = result.match_sets[rquery.target_uid].distinct_nodes()
                 if self.rcache is not None:
@@ -713,22 +741,44 @@ class _EvaluationState:
             for uid, calls in raw.items()
         }
 
-    def _group_for(self, queries: list[RelevanceQuery]) -> PatternGroup:
+    def _group_for(
+        self, queries: list[RelevanceQuery]
+    ) -> "PatternGroup | ShardedPatternGroup":
         """One compiled group per query family, reused across rounds.
 
         Keyed by the family's (target, pattern-identity) tuples, so a
         query rebuild (layer simplification, refinement, new names)
         compiles a fresh group — same pinning rule as per-query
-        matchers."""
+        matchers.  ``shards > 1`` compiles the sharded wrapper instead:
+        one scoped scan per depth-1 partition, merged deterministically
+        (it stands down by itself when the family is not shardable)."""
         key = tuple((q.target_uid, id(q.pattern)) for q in queries)
         if self._group is None or self._group_key != key:
-            self._group = PatternGroup(
-                {q.target_uid: q.pattern for q in queries},
-                options=self.evaluator.match_options,
-                counter=self.match_counter,
-                index=self.index if self.index is not None else self._shared_index,
-                call_source=self.fguide,
-            )
+            members = {q.target_uid: q.pattern for q in queries}
+            index = self.index if self.index is not None else self._shared_index
+            if self.config.shards > 1:
+                self._group = ShardedPatternGroup(
+                    members,
+                    shards=self.config.shards,
+                    options=self.evaluator.match_options,
+                    counter=self.match_counter,
+                    index=index,
+                    call_source=self.fguide,
+                    arena=self.arena,
+                    scheduler=SchedulerPolicy(
+                        max_concurrency=self.config.shards,
+                        use_threads=self.config.use_threads,
+                    ),
+                )
+            else:
+                self._group = PatternGroup(
+                    members,
+                    options=self.evaluator.match_options,
+                    counter=self.match_counter,
+                    index=index,
+                    call_source=self.fguide,
+                    arena=self.arena,
+                )
             self._group_key = key
         return self._group
 
@@ -782,6 +832,7 @@ class _EvaluationState:
             counter=self.match_counter,
             overlay=self.overlay,
             index=self.index,
+            arena=self.arena,
         )
 
     def _matcher_for(self, rquery: RelevanceQuery) -> Matcher:

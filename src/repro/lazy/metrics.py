@@ -94,6 +94,22 @@ class Metrics:
     projection_skipped_subtrees: int = 0
     """Subtrees the projection set let group passes skip wholesale —
     no member query tests any label inside them (shared matching)."""
+    arena_nodes: int = 0
+    """Live nodes mirrored in the document arena at teardown (arena
+    mode; 0 when the object walk served the evaluation)."""
+    arena_bytes: int = 0
+    """Bytes held by the arena's columns and label table (arena mode;
+    the memory side of the struct-of-arrays trade)."""
+    projection_pruned_at_load: int = 0
+    """Nodes dropped by load-time projection before the document
+    materialised (``build_document``/``parse_document`` with a
+    footprint; 0 when projection stood down or was not requested)."""
+    shard_passes: int = 0
+    """Scoped shard scans dispatched by shard-parallel group passes
+    (``shards > 1``; 0 when sharding stood down)."""
+    shard_merge_rows: int = 0
+    """Rows in the deterministically merged per-member answers of the
+    sharded passes (after composition dedup)."""
     maintained_rows: int = 0
     """Result rows served from the maintained answer at final match —
     without a full re-match of the document (answer maintenance)."""
@@ -168,6 +184,17 @@ class Metrics:
                 f" group-passes={self.group_passes} "
                 f"group-visited={self.group_pass_nodes_visited} "
                 f"proj-skipped={self.projection_skipped_subtrees}"
+            )
+        if self.arena_nodes or self.projection_pruned_at_load:
+            text += (
+                f" arena-nodes={self.arena_nodes} "
+                f"arena-bytes={self.arena_bytes} "
+                f"load-pruned={self.projection_pruned_at_load}"
+            )
+        if self.shard_passes:
+            text += (
+                f" shard-passes={self.shard_passes} "
+                f"shard-rows={self.shard_merge_rows}"
             )
         if (
             self.maintained_rows

@@ -27,6 +27,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable, Iterator, Optional, Protocol, Sequence
 
+from ..axml.arena import (
+    ANY_DATA,
+    KIND_ELEMENT,
+    KIND_FUNCTION,
+    KIND_VALUE,
+    DocumentArena,
+)
 from ..axml.document import Document
 from ..axml.index import LabelIndex
 from ..axml.node import Node
@@ -221,20 +228,26 @@ class Matcher:
         counter: Optional[MatchCounter] = None,
         overlay: Optional["OverlayLike"] = None,
         index: Optional[LabelIndex] = None,
+        arena: Optional[DocumentArena] = None,
     ) -> None:
         self.pattern = pattern
         self.options = options or MatchOptions()
         self.counter = counter or MatchCounter()
         self.overlay = overlay
         self.index = index
+        self.arena = arena
         self._result_nodes = pattern.result_nodes()
         self._needs_enum: dict[int, bool] = {}
         self._compute_needs_enum(pattern.root)
         self._can_memo: dict[tuple[int, int], bool] = {}
         self._below_memo: dict[tuple[int, int], bool] = {}
-        #: When set to ``(root, child)``, the walk below ``root`` is
-        #: restricted to the single depth-1 subtree under ``child``.
-        self._scope: Optional[tuple[Node, Node]] = None
+        #: When set to ``(root, children, id-set)``, the walk below
+        #: ``root`` is restricted to the depth-1 subtrees under
+        #: ``children`` (one for answer maintenance, a contiguous range
+        #: for shard passes).
+        self._scope: Optional[
+            tuple[Node, tuple[Node, ...], frozenset[int]]
+        ] = None
 
     # -- public API --------------------------------------------------------
 
@@ -251,21 +264,36 @@ class Matcher:
             self._record_row(rows, env, assigns)
         return MatchSet(self.pattern, list(rows.values()))
 
-    def evaluate_scoped(self, document: Document, scope: Node) -> MatchSet:
-        """Snapshot result restricted to one depth-1 document subtree.
+    def evaluate_scoped(
+        self, document: Document, scope: "Node | Sequence[Node]"
+    ) -> MatchSet:
+        """Snapshot result restricted to a set of depth-1 subtrees.
 
         The pattern root still maps to the document root, but below the
-        root the walk may only enter ``scope`` (which must be a direct
-        child of the root).  When the pattern root has exactly one
-        child, every embedding's non-root images are confined to a
-        single depth-1 subtree, so the full snapshot result is exactly
-        the composition (:meth:`MatchSet.compose`) of the scoped
-        results over all root children — the invariant the
-        answer-maintenance layer (``repro.lazy.answers``) splices over.
+        root the walk may only enter ``scope`` — one direct child of
+        the root, or a sequence of them (a shard of the root's child
+        range; see ``repro.pattern.shards``).  When the pattern root
+        has exactly one child, every embedding's non-root images are
+        confined to a single depth-1 subtree, so the full snapshot
+        result is exactly the composition (:meth:`MatchSet.compose`)
+        of the scoped results over any partition of the root children —
+        the invariant the answer-maintenance layer
+        (``repro.lazy.answers``) splices over and the shard-parallel
+        group pass merges by.
         """
-        if scope.parent is not document.root:
-            raise ValueError("scope must be a direct child of the document root")
-        self._scope = (document.root, scope)
+        children = (scope,) if isinstance(scope, Node) else tuple(scope)
+        if not children:
+            raise ValueError("scope must name at least one root child")
+        for child in children:
+            if child.parent is not document.root:
+                raise ValueError(
+                    "scope must be a direct child of the document root"
+                )
+        self._scope = (
+            document.root,
+            children,
+            frozenset(id(child) for child in children),
+        )
         try:
             return self.evaluate_at(document.root)
         finally:
@@ -357,11 +385,11 @@ class Matcher:
 
         Everywhere the matcher steps from a node to its children it
         must go through this hook, so :meth:`evaluate_scoped` can
-        narrow the scoped root to a single depth-1 subtree.
+        narrow the scoped root to its depth-1 subtree range.
         """
         scope = self._scope
         if scope is not None and dnode is scope[0]:
-            return (scope[1],)
+            return scope[1]
         return dnode.children
 
     def _record_row(
@@ -472,6 +500,11 @@ class Matcher:
         cached = memo.get(key)
         if cached is not None:
             return cached
+        if self.arena is not None:
+            scanned = self._exists_below_arena(pnode, dnode)
+            if scanned is not None:
+                memo[key] = scanned
+                return scanned
         if (
             self.index is not None
             and self.options.use_label_index
@@ -543,6 +576,129 @@ class Matcher:
                     return True
         return False
 
+    # -- arena fast paths ------------------------------------------------------
+
+    def _arena_filter(
+        self, pnode: PatternNode
+    ) -> Optional[tuple[int, Optional[frozenset[int]]]]:
+        """Compile ``pnode``'s node test to an arena column filter
+        ``(want_kind, want_label_ids)``, or ``None`` when the test is
+        not column-answerable (OR nodes — alternatives can mix kinds;
+        the index or the walk handles them).  ``want_label_ids`` of
+        ``None`` means any label; an *empty* set means the label was
+        never interned, so no live node can match.  Label-id sets are
+        computed per call (two dict probes), never cached: interning is
+        append-only and a later splice may introduce the label.
+        """
+        arena = self.arena
+        assert arena is not None
+        kind = pnode.kind
+        if kind is PatternKind.ELEMENT or kind is PatternKind.VALUE:
+            lid = arena.label_id(pnode.label)
+            ids = frozenset() if lid is None else frozenset((lid,))
+            want = KIND_ELEMENT if kind is PatternKind.ELEMENT else KIND_VALUE
+            return (want, ids)
+        if kind is PatternKind.STAR or kind is PatternKind.VARIABLE:
+            return (ANY_DATA, None)
+        if kind is PatternKind.FUNCTION:
+            names = pnode.function_names
+            if names is None:
+                return (KIND_FUNCTION, None)
+            ids = frozenset(
+                lid
+                for lid in (arena.label_id(name) for name in names)
+                if lid is not None
+            )
+            return (KIND_FUNCTION, ids)
+        return None
+
+    def _arena_roots(self, dnode: Node) -> Optional[list[int]]:
+        """Slots of the walk's entry points below ``dnode`` (its
+        scope-visible children), or ``None`` when ``dnode`` is not
+        mirrored by the arena (wrong document, stale node)."""
+        arena = self.arena
+        assert arena is not None
+        if arena.slot_for(dnode) is None:
+            return None
+        slot_of = arena._slot_of
+        roots = []
+        for child in self._children_of(dnode):
+            slot = slot_of.get(child.node_id)
+            if slot is not None:
+                roots.append(slot)
+        return roots
+
+    def _exists_below_arena(
+        self, pnode: PatternNode, dnode: Node
+    ) -> Optional[bool]:
+        """Column-scan existence check: a tight int-loop DFS over the
+        arena arrays, label-prefiltered, with the full ``_can`` test
+        applied only to prefilter survivors (sound: the prefilter is
+        implied by ``_can``'s label test).  ``None`` falls back to the
+        index probe or the object walk.
+        """
+        spec = self._arena_filter(pnode)
+        if spec is None:
+            return None
+        roots = self._arena_roots(dnode)
+        if roots is None:
+            return None
+        want_kind, want_ids = spec
+        if want_ids is not None and not want_ids:
+            return False
+        arena = self.arena
+        assert arena is not None
+        kind_col = arena.kind
+        label_col = arena.label
+        first_child = arena.first_child
+        next_sibling = arena.next_sibling
+        node_at = arena._node_at
+        descend = self.options.descend_into_parameters
+        stack = roots
+        while stack:
+            slot = stack.pop()
+            k = kind_col[slot]
+            if (
+                (k == want_kind or (want_kind == ANY_DATA and k != KIND_FUNCTION))
+                and (want_ids is None or label_col[slot] in want_ids)
+                and self._can(pnode, node_at[slot])
+            ):
+                return True
+            if k == KIND_FUNCTION and not descend:
+                continue
+            c = first_child[slot]
+            while c != -1:
+                stack.append(c)
+                c = next_sibling[c]
+        return False
+
+    def _arena_candidates(
+        self, pnode: PatternNode, dnode: Node
+    ) -> Optional[list[Node]]:
+        """Descendant candidates served from the columns, label-
+        prefiltered, in node-id order (same deterministic order as the
+        index path; skipped nodes cannot pass ``_quick_filter``).
+        ``None`` falls back to the index or the walk.
+        """
+        spec = self._arena_filter(pnode)
+        if spec is None:
+            return None
+        roots = self._arena_roots(dnode)
+        if roots is None:
+            return None
+        want_kind, want_ids = spec
+        if want_ids is not None and not want_ids:
+            return []
+        arena = self.arena
+        assert arena is not None
+        slots = arena.scan_descendants(
+            roots, want_kind, want_ids, self.options.descend_into_parameters
+        )
+        slots.sort(key=arena.node_id.__getitem__)
+        self.counter.candidates_visited += len(slots)
+        node_at = arena._node_at
+        return [node_at[slot] for slot in slots]
+
     # -- phase 2: enumeration ------------------------------------------------------------
 
     def _candidates(
@@ -553,6 +709,11 @@ class Matcher:
                 self.counter.candidates_visited += 1
                 yield child
             return
+        if pnode is not None and self.arena is not None:
+            served = self._arena_candidates(pnode, dnode)
+            if served is not None:
+                yield from served
+                return
         if (
             pnode is not None
             and self.index is not None
@@ -644,7 +805,7 @@ class Matcher:
                 if (
                     scope is not None
                     and ancestor is scope[0]
-                    and prev is not scope[1]
+                    and id(prev) not in scope[2]
                 ):
                     return False
                 return True

@@ -44,6 +44,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Hashable, Iterable, Iterator, Mapping, Optional, Sequence
 
+from ..axml.arena import DocumentArena
 from ..axml.document import Document
 from ..axml.index import LabelIndex
 from ..axml.node import Node
@@ -159,6 +160,7 @@ class _MemberMatcher(Matcher):
             options=group.options,
             counter=group.counter,
             index=group.index,
+            arena=group.arena,
         )
         self._group = group
         # Alias the group's tables and id maps: every member reads and
@@ -327,6 +329,13 @@ class PatternGroup:
             ``document`` attribute and a ``function_extents(names)``
             method) used for function-node projection sources when no
             index is available.
+        arena: optional column mirror of the target document
+            (:class:`~repro.axml.arena.DocumentArena`).  Descendant
+            steps and exists-below checks become tight scans over the
+            int columns; when every evaluated member is column-
+            answerable (no OR nodes) the projection set is skipped
+            entirely — the label prefilter of the scans subsumes it —
+            and otherwise the projected set is computed column-side.
 
     ``evaluate`` returns per-member :class:`MatchSet`s identical to
     fresh per-pattern matchers.  Bindings overlays are unsupported (see
@@ -340,11 +349,13 @@ class PatternGroup:
         counter: Optional[MatchCounter] = None,
         index: Optional[LabelIndex] = None,
         call_source: Optional[object] = None,
+        arena: Optional[DocumentArena] = None,
     ) -> None:
         self.options = options or MatchOptions()
         self.counter = counter or MatchCounter()
         self.index = index
         self.call_source = call_source
+        self.arena = arena
         self._can_memo: dict[tuple[int, int], bool] = {}
         self._below_memo: dict[tuple[int, int], bool] = {}
         self._cond_memo: dict[tuple[int, EdgeKind, int], bool] = {}
@@ -360,10 +371,12 @@ class PatternGroup:
         self._candidate_reuses = 0
         self._members: dict[Hashable, _MemberMatcher] = {}
         self._summaries: dict[Hashable, LabelSummary] = {}
+        self._has_or: dict[Hashable, bool] = {}
         for key, pattern in dict(members).items():
             self._intern(pattern.root)
             self._members[key] = _MemberMatcher(pattern, self)
             self._summaries[key] = LabelSummary.from_pattern(pattern)
+            self._has_or[key] = any(n.is_or for n in pattern.nodes())
 
     def __len__(self) -> int:
         return len(self._members)
@@ -391,6 +404,7 @@ class PatternGroup:
             self._intern(pattern.root)
             self._members[key] = _MemberMatcher(pattern, self)
             self._summaries[key] = LabelSummary.from_pattern(pattern)
+            self._has_or[key] = any(n.is_or for n in pattern.nodes())
 
     def discard(self, keys: Iterable[Hashable]) -> None:
         """Drop members (unknown keys are ignored).
@@ -404,6 +418,7 @@ class PatternGroup:
         for key in keys:
             self._members.pop(key, None)
             self._summaries.pop(key, None)
+            self._has_or.pop(key, None)
 
     @property
     def canonical_classes(self) -> int:
@@ -479,7 +494,7 @@ class PatternGroup:
         self,
         document: Document,
         keys: Optional[Sequence[Hashable]] = None,
-        scope: Optional[Node] = None,
+        scope: "Optional[Node | Sequence[Node]]" = None,
     ) -> GroupPassResult:
         """Evaluate the selected members (default: all) in one pass.
 
@@ -487,21 +502,33 @@ class PatternGroup:
         selected member; the tables are cleared first, so the pass is
         correct on whatever state the document is in now.
 
-        ``scope`` (a direct child of the document root) restricts the
-        whole pass to one depth-1 subtree, mirroring
+        ``scope`` (one direct child of the document root, or a sequence
+        of them — a shard's contiguous range) restricts the whole pass
+        to those depth-1 subtrees, mirroring
         :meth:`~repro.pattern.match.Matcher.evaluate_scoped` — every
         member and every shared memo sees the same scope, and the
         tables are cleared afterwards so no scoped fact leaks into a
         later unscoped pass.
         """
         selected = list(self._members) if keys is None else list(keys)
-        scope_pair = None
+        scope_triple = None
         if scope is not None:
-            if scope.parent is not document.root:
-                raise ValueError(
-                    "scope must be a direct child of the document root"
-                )
-            scope_pair = (document.root, scope)
+            children = (
+                (scope,) if isinstance(scope, Node) else tuple(scope)
+            )
+            if not children:
+                raise ValueError("scope must name at least one child")
+            for child in children:
+                if child.parent is not document.root:
+                    raise ValueError(
+                        "scope members must be direct children of the "
+                        "document root"
+                    )
+            scope_triple = (
+                document.root,
+                children,
+                frozenset(id(child) for child in children),
+            )
         self._can_memo.clear()
         self._below_memo.clear()
         self._cond_memo.clear()
@@ -510,10 +537,23 @@ class PatternGroup:
         self._nodes_visited = 0
         self._skipped_subtrees = 0
         self._candidate_reuses = 0
-        self._projected = self._compute_projection(document, selected)
+        arena = self.arena
+        if (
+            arena is not None
+            and arena.slot_for(document.root) is not None
+            and not any(self._has_or[key] for key in selected)
+        ):
+            # Column scans label-prefilter every candidate themselves,
+            # so a projection set would only re-derive pruning the
+            # arena already applies; skip computing it.  OR members
+            # fall off the column fast path (alternatives need the
+            # object-side test), so they still want the projected walk.
+            self._projected = None
+        else:
+            self._projected = self._compute_projection(document, selected)
         try:
             for member in self._members.values():
-                member._scope = scope_pair
+                member._scope = scope_triple
             match_sets = {
                 key: self._members[key].evaluate(document) for key in selected
             }
@@ -522,7 +562,7 @@ class PatternGroup:
             self._projected = None
             for member in self._members.values():
                 member._scope = None
-            if scope_pair is not None:
+            if scope_triple is not None:
                 # Scoped boolean facts must not survive into an
                 # unscoped (or differently scoped) pass.
                 self._can_memo.clear()
@@ -559,7 +599,30 @@ class PatternGroup:
         )
         if summary.any_data:
             return None
-        projected: set[int] = set()
+        arena = self.arena
+        if arena is not None and arena.slot_for(document.root) is not None:
+            # Column-side projection: label names resolve to interned
+            # ids (a name never interned maps to no node — dropped),
+            # then one pass over the arrays collects sources and their
+            # ancestor chains.
+            data_ids = frozenset(
+                lid
+                for lid in map(arena.label_id, summary.data_labels)
+                if lid is not None
+            )
+            function_ids = frozenset(
+                lid
+                for lid in map(arena.label_id, summary.function_names)
+                if lid is not None
+            )
+            projected = arena.collect_projection(
+                data_ids, function_ids, summary.any_function
+            )
+            root_id = document.root.node_id
+            if root_id is not None:
+                projected.add(root_id)
+            return projected
+        projected = set()
         root_id = document.root.node_id
         if root_id is not None:
             projected.add(root_id)

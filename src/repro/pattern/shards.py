@@ -1,0 +1,247 @@
+"""Shard-parallel group passes: partition the document, scan in parallel.
+
+The scoped-evaluation law behind answer maintenance (see
+:meth:`~repro.pattern.match.Matcher.evaluate_scoped` and
+``MatchSet.compose``) says: for a pattern whose root has exactly one
+child, the full snapshot result is the composition of the scoped
+results over the document root's depth-1 subtrees.  Nothing in that law
+requires the scopes to be evaluated one at a time, or to contain one
+subtree each — so a group pass over a large document can be *sharded*:
+
+1. partition ``document.root.children`` into ``shards`` contiguous
+   ranges of roughly equal size;
+2. run one scoped :class:`~repro.pattern.multimatch.PatternGroup` pass
+   per range — each shard owns a private group (the shared memo tables
+   are single-threaded state) but all shards read the same document,
+   label index and arena, which a pass never mutates;
+3. compose the per-shard row groups **in shard index order** with
+   :meth:`MatchSet.compose`, making the merged answer deterministic and
+   independent of thread completion order.
+
+Dispatch goes through the PR-3 scheduler vocabulary: a
+:class:`~repro.services.scheduler.SchedulerPolicy` decides whether the
+shard scans overlap on a ``ThreadPoolExecutor`` (``use_threads``) and
+how many run at once (``max_concurrency``).  Sharding *stands down* —
+one unscoped pass on shard 0's group — whenever the law does not apply:
+a selected member's pattern root has several children (its rows could
+straddle shard boundaries), or the root has fewer than two depth-1
+subtrees to split.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+from typing import Hashable, Iterable, Mapping, Optional, Sequence
+
+from ..axml.arena import DocumentArena
+from ..axml.document import Document
+from ..axml.index import LabelIndex
+from ..axml.node import Node
+from ..services.scheduler import SchedulerPolicy
+from .match import MatchCounter, MatchOptions, MatchSet
+from .multimatch import GroupPassResult, PatternGroup
+from .pattern import TreePattern
+
+
+def plan_shards(children: Sequence[Node], shards: int) -> list[tuple[Node, ...]]:
+    """Partition depth-1 subtrees into ``shards`` contiguous ranges.
+
+    Ranges are as even as possible (sizes differ by at most one) and
+    preserve document order, so shard 0 holds the leftmost subtrees.
+    Fewer children than shards yields fewer (singleton) ranges; an
+    empty child list yields no ranges.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    total = len(children)
+    count = min(shards, total)
+    if count == 0:
+        return []
+    base, extra = divmod(total, count)
+    ranges: list[tuple[Node, ...]] = []
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        ranges.append(tuple(children[start : start + size]))
+        start += size
+    return ranges
+
+
+@dataclasses.dataclass
+class ShardedPassResult(GroupPassResult):
+    """A :class:`GroupPassResult` with the sharding figures attached."""
+
+    shard_passes: int = 0
+    """Scoped shard scans this pass dispatched (0 = stood down)."""
+    merge_rows: int = 0
+    """Rows in the merged per-member answers (after dedup)."""
+
+
+class ShardedPatternGroup:
+    """A drop-in :class:`PatternGroup` that scans the document in shards.
+
+    Mirrors the group interface the engine uses (``evaluate`` /
+    ``extend`` / ``discard`` / membership) while holding one private
+    :class:`PatternGroup` per shard — memo tables, member matchers and
+    work counters are thread-local to a shard; per-pass counter deltas
+    drain into the shared ``counter`` after the join, so the engine's
+    accounting matches a serial pass.
+    """
+
+    def __init__(
+        self,
+        members: Mapping[Hashable, TreePattern],
+        shards: int,
+        options: Optional[MatchOptions] = None,
+        counter: Optional[MatchCounter] = None,
+        index: Optional[LabelIndex] = None,
+        call_source: Optional[object] = None,
+        arena: Optional[DocumentArena] = None,
+        scheduler: Optional[SchedulerPolicy] = None,
+    ) -> None:
+        if shards < 2:
+            raise ValueError("ShardedPatternGroup needs shards >= 2")
+        self.shards = shards
+        self.counter = counter or MatchCounter()
+        self.scheduler = scheduler or SchedulerPolicy(max_concurrency=shards)
+        self._patterns: dict[Hashable, TreePattern] = dict(members)
+        self._groups = [
+            PatternGroup(
+                members,
+                options=options,
+                counter=MatchCounter(),
+                index=index,
+                call_source=call_source,
+                arena=arena,
+            )
+            for _ in range(shards)
+        ]
+
+    # -- membership (the engine's group interface) ---------------------------
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._patterns
+
+    def keys(self) -> list[Hashable]:
+        return list(self._patterns)
+
+    @property
+    def canonical_classes(self) -> int:
+        return self._groups[0].canonical_classes
+
+    def extend(self, members: Mapping[Hashable, TreePattern]) -> None:
+        fresh = dict(members)
+        for group in self._groups:
+            group.extend(fresh)
+        self._patterns.update(fresh)
+
+    def discard(self, keys: Iterable[Hashable]) -> None:
+        dropped = list(keys)
+        for group in self._groups:
+            group.discard(dropped)
+        for key in dropped:
+            self._patterns.pop(key, None)
+
+    # -- the sharded pass ----------------------------------------------------
+
+    def shardable(self, document: Document, selected: Sequence[Hashable]) -> bool:
+        """Whether the composition law covers this pass.
+
+        Every selected member's root must have exactly one child (one
+        row never spans two depth-1 subtrees, so scoped unions compose
+        to the full answer — the ``AnswerCache`` ``_scoped`` rule), and
+        the document root needs at least two subtrees to split.
+        """
+        if len(document.root.children) < 2:
+            return False
+        return all(
+            len(self._patterns[key].root.children) == 1 for key in selected
+        )
+
+    def evaluate(
+        self,
+        document: Document,
+        keys: Optional[Sequence[Hashable]] = None,
+        scope: "Optional[Node | Sequence[Node]]" = None,
+    ) -> ShardedPassResult:
+        """Evaluate the selected members, sharding when sound.
+
+        Ineligible passes (explicit ``scope``, multi-child member
+        roots, too few subtrees) run as one unscoped pass on shard 0's
+        group — identical results, ``shard_passes == 0``.
+        """
+        selected = list(self._patterns) if keys is None else list(keys)
+        if scope is not None or not self.shardable(document, selected):
+            result = self._groups[0].evaluate(document, keys=selected, scope=scope)
+            self._drain_counters()
+            return _attach(result, shard_passes=0)
+
+        ranges = plan_shards(document.root.children, self.shards)
+        jobs = list(zip(self._groups, ranges))
+
+        def run_shard(job: "tuple[PatternGroup, tuple[Node, ...]]") -> GroupPassResult:
+            group, shard_children = job
+            return group.evaluate(document, keys=selected, scope=shard_children)
+
+        if self.scheduler.use_threads and len(jobs) > 1:
+            workers = min(len(jobs), self.scheduler.max_concurrency)
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                futures = [pool.submit(run_shard, job) for job in jobs]
+                # Collected in shard index order — determinism does not
+                # depend on which thread finishes first.
+                shard_results = [future.result() for future in futures]
+        else:
+            shard_results = [run_shard(job) for job in jobs]
+        self._drain_counters()
+
+        match_sets = {
+            key: MatchSet.compose(
+                self._patterns[key],
+                [result.match_sets[key].rows for result in shard_results],
+            )
+            for key in selected
+        }
+        merged = ShardedPassResult(
+            match_sets=match_sets,
+            nodes_visited=sum(r.nodes_visited for r in shard_results),
+            skipped_subtrees=sum(r.skipped_subtrees for r in shard_results),
+            candidate_reuses=sum(r.candidate_reuses for r in shard_results),
+            projected=all(r.projected for r in shard_results),
+            projection_size=sum(r.projection_size for r in shard_results),
+            shard_passes=len(shard_results),
+            merge_rows=sum(len(ms) for ms in match_sets.values()),
+        )
+        return merged
+
+    def _drain_counters(self) -> None:
+        """Fold the shards' per-pass work into the shared counter."""
+        for group in self._groups:
+            self.counter.merge(group.counter)
+            for name in MatchCounter.__slots__:
+                setattr(group.counter, name, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedPatternGroup({len(self._patterns)} members, "
+            f"{self.shards} shards)"
+        )
+
+
+def _attach(result: GroupPassResult, shard_passes: int) -> ShardedPassResult:
+    """Lift a plain pass result into the sharded result type."""
+    return ShardedPassResult(
+        match_sets=result.match_sets,
+        nodes_visited=result.nodes_visited,
+        skipped_subtrees=result.skipped_subtrees,
+        candidate_reuses=result.candidate_reuses,
+        projected=result.projected,
+        projection_size=result.projection_size,
+        shard_passes=shard_passes,
+        merge_rows=sum(len(ms) for ms in result.match_sets.values()),
+    )

@@ -30,6 +30,7 @@ import dataclasses
 import random
 from typing import Optional, Sequence
 
+from ..axml.arena import DocumentArena
 from ..axml.builder import C, E, V, build_document
 from ..axml.document import Document
 from ..axml.node import Node
@@ -81,6 +82,11 @@ class WorkloadSpec:
     min_nodes: int = 0
     """Keep appending root subtrees until the document holds at least
     this many nodes (0 = no floor)."""
+    arena_build: bool = False
+    """Attach a :class:`~repro.axml.arena.DocumentArena` to every
+    generated document (as ``document.arena``) — the million-node
+    regimes build the column mirror once at generation time so
+    arena-mode evaluations skip the per-evaluation build pass."""
 
     # -- recursion (drill mode) ---------------------------------------------
     recursion_depth: int = 0
@@ -249,7 +255,10 @@ class GeneratedWorkload:
             root.append(tree)
             total += tree.subtree_size()
             built += 1
-        return build_document(root, name=f"{spec.name}-{index}")
+        document = build_document(root, name=f"{spec.name}-{index}")
+        if spec.arena_build:
+            document.arena = DocumentArena(document)
+        return document
 
     def _root_subtree(self, rng: random.Random, salt: str) -> Node:
         spec = self.spec
@@ -271,17 +280,25 @@ class GeneratedWorkload:
         return E("hub", *children)
 
     def _hot_chain(self, rng: random.Random, salt: str, depth: int) -> Node:
+        """Iterative (draw-order identical to the old recursion), so
+        deep regimes generate without hitting the recursion limit."""
         spec = self.spec
-        if rng.random() < spec.call_probability:
-            payload: Node = C(
-                rng.choice(self.service_names),
-                V(self._call_key(rng, spec.call_budget, salt)),
-            )
-        else:
-            payload = E("item", E("name", V(f"n{rng.randint(0, 9)}")))
-        if depth <= 1:
-            return E("rec", payload)
-        return E("rec", payload, self._hot_chain(rng, salt, depth - 1))
+
+        def payload() -> Node:
+            if rng.random() < spec.call_probability:
+                return C(
+                    rng.choice(self.service_names),
+                    V(self._call_key(rng, spec.call_budget, salt)),
+                )
+            return E("item", E("name", V(f"n{rng.randint(0, 9)}")))
+
+        top = E("rec", payload())
+        node = top
+        for _ in range(depth - 1):
+            child = E("rec", payload())
+            node.append(child)
+            node = child
+        return top
 
     def _cold_chain(self, rng: random.Random, depth: int) -> Node:
         inner: Node = V(f"z{rng.randint(0, 9)}")
@@ -705,9 +722,25 @@ REGIMES: dict[str, WorkloadSpec] = {
         WorkloadSpec(
             name="large-document",
             seed=1508,
-            description=">=100k-node documents: the scale regime "
-            "(child-edge queries — descendant steps over 100k nodes "
-            "measure the matcher's quadratic tail, not scale)",
+            description=">=1M-node documents on the arena builder path: "
+            "the scale regime (child-edge queries — descendant steps "
+            "at this size are the E16 bench's own, served by the "
+            "column scans)",
+            min_nodes=1_000_000,
+            depth=5,
+            fanout=(2, 5),
+            call_probability=0.15,
+            argument_pool=32,
+            n_queries=2,
+            descendant_probability=0.0,
+            arena_build=True,
+        ),
+        WorkloadSpec(
+            name="large-document-100k",
+            seed=1508,
+            description=">=100k-node documents on the plain object-graph "
+            "path: the compatibility scale regime (the pre-arena "
+            "large-document spec, kept as the object-walk twin)",
             min_nodes=100_000,
             depth=5,
             fanout=(2, 5),

@@ -61,3 +61,40 @@ def test_stats_and_serialization_helpers_are_depth_safe(deep_document):
     # leaf value sits at DEPTH+1; the call's parameter one deeper.
     assert stats.max_depth == DEPTH + 2
     assert stats.function_nodes == 1
+
+
+def test_subtree_size_and_depth_are_depth_safe(deep_document):
+    # root + DEPTH levels + leaf value + call + its parameter.
+    assert deep_document.root.subtree_size() == DEPTH + 4
+    node = deep_document.root
+    while node.children and node.children[0].is_element:
+        node = node.children[0]
+    leaf = node.children[0]
+    assert leaf.is_value and leaf.depth() == DEPTH + 1
+
+
+def test_pretty_rendering_is_depth_safe(deep_document):
+    text = deep_document.root.pretty()
+    lines = text.splitlines()
+    assert lines[0].startswith("<root>")
+    assert len(lines) == deep_document.root.subtree_size()
+    # Indentation tracks depth all the way down.
+    assert lines[DEPTH].lstrip().startswith("<level>")
+
+
+def test_etree_round_trip_is_depth_safe(deep_document):
+    from repro.axml.xmlio import from_etree, to_etree
+
+    back = from_etree(to_etree(deep_document.root))
+    assert back.structurally_equal(deep_document.root)
+
+
+def test_arena_mirror_is_depth_safe(deep_document):
+    from repro.axml.arena import DocumentArena
+
+    arena = DocumentArena(deep_document)
+    try:
+        assert arena.live_nodes == deep_document.root.subtree_size()
+        assert arena.consistency_errors() == []
+    finally:
+        arena.detach()

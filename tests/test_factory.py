@@ -103,9 +103,31 @@ def test_regimes_cover_the_required_adversaries():
         assert spec.description
 
 
-def test_large_document_regime_reaches_100k_nodes():
-    gen = regime("large-document")
+def test_large_document_regime_is_pinned_to_a_million_nodes():
+    """Spec invariants of the 1M-node arena regime, asserted without
+    building it (the full-scale build belongs to the E16 bench)."""
+    spec = REGIMES["large-document"]
+    assert spec.min_nodes >= 1_000_000
+    assert spec.arena_build is True
+    assert spec.descendant_probability == 0.0
+
+
+def test_large_document_compat_regime_reaches_100k_nodes():
+    """The pre-arena 100k object-graph twin still builds at full size."""
+    gen = regime("large-document-100k")
+    assert gen.spec.arena_build is False
     assert gen.make_document(0).root.subtree_size() >= 100_000
+
+
+def test_arena_build_regimes_attach_a_consistent_mirror():
+    """A downsized build of the arena regime must carry a column mirror
+    that agrees with the object graph node for node."""
+    gen = regime("large-document", min_nodes=2_000)
+    document = gen.make_document(0)
+    arena = document.arena
+    assert arena is not None and arena.document is document
+    assert arena.live_nodes == document.root.subtree_size()
+    assert arena.consistency_errors() == []
 
 
 def test_cache_flood_keys_are_distinct():
