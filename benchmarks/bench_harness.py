@@ -19,7 +19,14 @@ from __future__ import annotations
 
 import json
 import re
+import sys
+import tracemalloc
 from pathlib import Path
+
+try:  # stdlib on POSIX; absent on some platforms
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    resource = None
 
 from repro.lazy.config import EngineConfig
 from repro.lazy.engine import LazyQueryEvaluator
@@ -94,6 +101,26 @@ def bench_json_path(bench):
     return REPO_ROOT / f"BENCH_{bench}.json"
 
 
+def peak_memory_kb():
+    """This process's peak memory so far, in KiB (always >= 1).
+
+    Prefers the OS high-water mark (``ru_maxrss``: KiB on Linux, bytes
+    on macOS); falls back to tracemalloc's traced peak when the
+    ``resource`` module is unavailable, so every ``BENCH_<name>.json``
+    carries the figure on every platform.
+    """
+    if resource is not None:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # pragma: no cover - linux CI
+            peak //= 1024
+        if peak > 0:
+            return int(peak)
+    if tracemalloc.is_tracing():  # pragma: no cover - resource exists on CI
+        _, traced_peak = tracemalloc.get_traced_memory()
+        return max(1, traced_peak // 1024)
+    return 1  # pragma: no cover - no measurement source at all
+
+
 def emit_bench_json(bench, table, headers, rows, note=None):
     """Merge one table into ``BENCH_<bench>.json`` at the repo root.
 
@@ -117,6 +144,7 @@ def emit_bench_json(bench, table, headers, rows, note=None):
         "rows": [list(row) for row in rows],
         "note": note,
     }
+    payload["peak_rss_kb"] = peak_memory_kb()
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
@@ -126,6 +154,9 @@ def read_bench_json(bench):
     payload = json.loads(bench_json_path(bench).read_text())
     if payload.get("bench") != bench or "tables" not in payload:
         raise ValueError(f"malformed BENCH_{bench}.json")
+    peak = payload.get("peak_rss_kb")
+    if not isinstance(peak, int) or peak <= 0:
+        raise ValueError(f"BENCH_{bench}.json lacks a peak_rss_kb figure")
     return payload
 
 

@@ -164,6 +164,7 @@ def _build_config(args: argparse.Namespace, trace=None) -> EngineConfig:
         incremental=getattr(args, "incremental", False),
         shared_matching=getattr(args, "shared_matching", False),
         arena=getattr(args, "arena", False),
+        column_match=getattr(args, "column_match", False),
         shards=getattr(args, "shards", 1),
         maintain_answers=getattr(args, "maintain_answers", False),
         trace=trace,
@@ -187,7 +188,33 @@ def _maybe_inject_faults(
     return flaky
 
 
+def _check_flag_combinations(args: argparse.Namespace) -> Optional[str]:
+    """The flag combinations that would silently do nothing.
+
+    ``EngineConfig`` accepts them (the knobs auto-stand-down), but a
+    command line asking for a fast path that cannot engage deserves an
+    error naming the missing flag, not a quietly slower run.
+    """
+    if getattr(args, "column_match", False) and not getattr(args, "arena", False):
+        return (
+            "--column-match needs the arena columns to run on: "
+            "pass --arena (or drop --column-match)"
+        )
+    if getattr(args, "shards", 1) > 1 and not getattr(
+        args, "shared_matching", False
+    ):
+        return (
+            "--shards only shards the shared group pass: "
+            "pass --shared-matching (or keep --shards 1)"
+        )
+    return None
+
+
 def cmd_eval(args: argparse.Namespace) -> int:
+    problem = _check_flag_combinations(args)
+    if problem is not None:
+        print(f"eval: {problem}", file=sys.stderr)
+        return 2
     document = parse_document(_read(args.document), name=args.document)
     schema = parse_schema(_read(args.schema)) if args.schema else None
     registry = (
@@ -546,6 +573,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="column-backed matching: mirror the document into a "
         "struct-of-arrays arena and serve the hot traversals as tight "
         "int-column scans (--no-arena restores the object walk, the "
+        "differential oracle)",
+    )
+    ev.add_argument(
+        "--column-match",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="column-native pattern matching: compile each pattern into "
+        "a slot-level plan and run the whole match over the arena's int "
+        "columns, touching Node objects only for the final rows (needs "
+        "--arena; --no-column-match restores the object walk, the "
         "differential oracle)",
     )
     ev.add_argument(

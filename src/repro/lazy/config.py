@@ -171,6 +171,17 @@ class EngineConfig:
     ``document.arena``, e.g. by the workload factory) is reused;
     otherwise the engine builds one per evaluation and detaches it at
     teardown."""
+    column_match: bool = False
+    """Column-native pattern matching: compile each pattern into a
+    slot-level plan and evaluate it *entirely* over the arena's int
+    columns (``repro.pattern.columnmatch``), materialising ``Node``
+    objects only for the final result rows.  Requires ``arena`` (auto-
+    off without one); stands down per evaluation — counted as
+    ``column_fallbacks`` — on ``push_mode=BINDINGS`` overlays and on
+    shapes the plan compiler refuses (OR nodes, interior data
+    wildcards), where the object walk answers as before.  Never changes
+    answers or invocation order; opt-in so the walk stays the
+    differential oracle."""
     shards: int = 1
     """Shard-parallel group passes: partition the document root's
     depth-1 subtrees into this many contiguous ranges and dispatch one
@@ -225,6 +236,7 @@ class EngineConfig:
         "incremental",
         "shared_matching",
         "arena",
+        "column_match",
         "maintain_answers",
     )
 
@@ -381,6 +393,8 @@ class EngineConfig:
             parts.append("shared")
         if self.arena:
             parts.append("arena")
+        if self.column_match:
+            parts.append("colmatch")
         if self.shards > 1:
             parts.append(f"shard{self.shards}")
         if self.maintain_answers:

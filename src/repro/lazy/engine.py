@@ -21,6 +21,7 @@ Ties everything together (Sections 3-7):
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
 from typing import Optional
@@ -32,6 +33,7 @@ from ..axml.node import Activation, Node
 from ..axml.paths import call_position
 from ..obs.trace import (
     ANSWER_MAINT,
+    COLUMN_PASS,
     EVALUATE,
     FINAL_MATCH,
     GROUP_PASS,
@@ -351,6 +353,9 @@ class _EvaluationState:
         metrics.match_can_checks = self.match_counter.can_checks
         metrics.match_candidates_visited = self.match_counter.candidates_visited
         metrics.index_candidates = self.match_counter.index_candidates
+        metrics.column_pass_nodes = self.match_counter.column_pass_nodes
+        metrics.column_rows = self.match_counter.column_rows
+        metrics.column_fallbacks = self.match_counter.column_fallbacks
         if self.arena is not None:
             metrics.arena_nodes = self.arena.live_nodes
             metrics.arena_bytes = self.arena.column_bytes()
@@ -714,9 +719,10 @@ class _EvaluationState:
             with self.tracer.span(
                 GROUP_PASS, members=len(queries), evaluated=len(fresh)
             ) as span:
-                result = group.evaluate(
-                    self.document, keys=[q.target_uid for q in fresh]
-                )
+                with self._column_span():
+                    result = group.evaluate(
+                        self.document, keys=[q.target_uid for q in fresh]
+                    )
                 if span is not None:
                     span.tags["nodes_visited"] = result.nodes_visited
                     span.tags["skipped_subtrees"] = result.skipped_subtrees
@@ -740,6 +746,38 @@ class _EvaluationState:
             ]
             for uid, calls in raw.items()
         }
+
+    @contextlib.contextmanager
+    def _column_span(self):
+        """A ``COLUMN_PASS`` span around a match pass, when active.
+
+        Yields ``None`` (no span) unless ``config.column_match`` is on
+        and an arena exists — the same gate the matchers apply — so the
+        trace only claims a column pass when one could actually run.
+        Tags are the pass's *deltas* of the three column counters, not
+        the cumulative totals, so each span reads as its own pass.
+        """
+        if not (self.config.column_match and self.arena is not None):
+            yield None
+            return
+        counter = self.match_counter
+        before = (
+            counter.column_pass_nodes,
+            counter.column_rows,
+            counter.column_fallbacks,
+        )
+        with self.tracer.span(COLUMN_PASS) as span:
+            try:
+                yield span
+            finally:
+                if span is not None:
+                    span.tags["column_pass_nodes"] = (
+                        counter.column_pass_nodes - before[0]
+                    )
+                    span.tags["column_rows"] = counter.column_rows - before[1]
+                    span.tags["column_fallbacks"] = (
+                        counter.column_fallbacks - before[2]
+                    )
 
     def _group_for(
         self, queries: list[RelevanceQuery]
@@ -765,6 +803,7 @@ class _EvaluationState:
                     index=index,
                     call_source=self.fguide,
                     arena=self.arena,
+                    column_match=self.config.column_match,
                     scheduler=SchedulerPolicy(
                         max_concurrency=self.config.shards,
                         use_threads=self.config.use_threads,
@@ -778,6 +817,7 @@ class _EvaluationState:
                     index=index,
                     call_source=self.fguide,
                     arena=self.arena,
+                    column_match=self.config.column_match,
                 )
             self._group_key = key
         return self._group
@@ -833,6 +873,7 @@ class _EvaluationState:
             overlay=self.overlay,
             index=self.index,
             arena=self.arena,
+            column_match=self.config.column_match,
         )
 
     def _matcher_for(self, rquery: RelevanceQuery) -> Matcher:
@@ -1067,7 +1108,8 @@ class _EvaluationState:
     def final_evaluation(self) -> MatchSet:
         cache = self.answer_cache
         if cache is None:
-            return self._make_matcher(self.query).evaluate(self.document)
+            with self._column_span():
+                return self._make_matcher(self.query).evaluate(self.document)
         with self.tracer.span(ANSWER_MAINT, seeded=cache.seeded) as span:
             before_full = cache.full_matches
             before_scopes = cache.scope_rematches

@@ -104,6 +104,19 @@ class Metrics:
     """Nodes dropped by load-time projection before the document
     materialised (``build_document``/``parse_document`` with a
     footprint; 0 when projection stood down or was not requested)."""
+    column_pass_nodes: int = 0
+    """Arena slots the column matcher's slot-space scans touched
+    (column matching; the column path's analogue of
+    ``match_candidates_visited`` — the two are never mixed, so each
+    path's cost stays separately attributable)."""
+    column_rows: int = 0
+    """Result rows produced entirely in slot space — ``Node`` objects
+    were materialised only to render these final rows (column
+    matching)."""
+    column_fallbacks: int = 0
+    """Evaluations where the column matcher stood down and the object
+    walk answered instead (no compiled plan, bindings overlay, root or
+    scope not mirrored in the arena)."""
     shard_passes: int = 0
     """Scoped shard scans dispatched by shard-parallel group passes
     (``shards > 1``; 0 when sharding stood down)."""
@@ -190,6 +203,12 @@ class Metrics:
                 f" arena-nodes={self.arena_nodes} "
                 f"arena-bytes={self.arena_bytes} "
                 f"load-pruned={self.projection_pruned_at_load}"
+            )
+        if self.column_pass_nodes or self.column_rows or self.column_fallbacks:
+            text += (
+                f" col-nodes={self.column_pass_nodes} "
+                f"col-rows={self.column_rows} "
+                f"col-fallbacks={self.column_fallbacks}"
             )
         if self.shard_passes:
             text += (

@@ -61,6 +61,7 @@ LAYER = "layer"
 ROUND = "round"
 RELEVANCE_CHECK = "relevance_check"
 GROUP_PASS = "group_pass"
+COLUMN_PASS = "column_pass"
 BATCH = "batch"
 INVOCATION = "invocation"
 PUSH = "push"

@@ -37,6 +37,7 @@ from ..axml.arena import (
 from ..axml.document import Document
 from ..axml.index import LabelIndex
 from ..axml.node import Node
+from .columnmatch import ColumnMatcher, compile_plan
 from .nodes import EdgeKind, PatternKind, PatternNode
 from .pattern import TreePattern
 
@@ -88,11 +89,21 @@ class MatchCounter:
     (child steps and un-indexed descendant steps alike, so the figure
     is comparable across edge kinds); ``index_candidates`` counts nodes
     served by a label index instead of a walk.
+
+    The column counters keep the slot path's effort separately
+    attributable: ``column_pass_nodes`` counts slots the column
+    matcher's scans touched, ``column_rows`` the rows it produced, and
+    ``column_fallbacks`` the evaluations where the fast path was
+    requested but stood down to the object walk (no plan, an overlay,
+    an unmirrored root or scope).
     """
 
     __slots__ = (
         "can_checks",
         "candidates_visited",
+        "column_fallbacks",
+        "column_pass_nodes",
+        "column_rows",
         "embeddings_found",
         "evaluations",
         "index_candidates",
@@ -101,6 +112,9 @@ class MatchCounter:
     def __init__(self) -> None:
         self.can_checks = 0
         self.candidates_visited = 0
+        self.column_fallbacks = 0
+        self.column_pass_nodes = 0
+        self.column_rows = 0
         self.embeddings_found = 0
         self.evaluations = 0
         self.index_candidates = 0
@@ -108,6 +122,9 @@ class MatchCounter:
     def merge(self, other: "MatchCounter") -> None:
         self.can_checks += other.can_checks
         self.candidates_visited += other.candidates_visited
+        self.column_fallbacks += other.column_fallbacks
+        self.column_pass_nodes += other.column_pass_nodes
+        self.column_rows += other.column_rows
         self.embeddings_found += other.embeddings_found
         self.evaluations += other.evaluations
         self.index_candidates += other.index_candidates
@@ -229,6 +246,7 @@ class Matcher:
         overlay: Optional["OverlayLike"] = None,
         index: Optional[LabelIndex] = None,
         arena: Optional[DocumentArena] = None,
+        column_match: bool = False,
     ) -> None:
         self.pattern = pattern
         self.options = options or MatchOptions()
@@ -236,6 +254,18 @@ class Matcher:
         self.overlay = overlay
         self.index = index
         self.arena = arena
+        #: Column fast path (``repro.pattern.columnmatch``): auto-off
+        #: without an arena; an overlay or an uncompilable shape (OR,
+        #: interior data wildcards) leaves ``_column`` unset, so every
+        #: evaluation stands down to the walk and counts a fallback.
+        self.column_match = bool(column_match) and arena is not None
+        self._column: Optional[ColumnMatcher] = None
+        if self.column_match and overlay is None:
+            plan = compile_plan(pattern)
+            if plan is not None:
+                self._column = ColumnMatcher(
+                    plan, arena, self.options, self.counter
+                )
         self._result_nodes = pattern.result_nodes()
         self._needs_enum: dict[int, bool] = {}
         self._compute_needs_enum(pattern.root)
@@ -259,10 +289,54 @@ class Matcher:
         """Snapshot result with the pattern root mapped to ``root``."""
         self._reset_memos()
         self.counter.evaluations += 1
+        if self.column_match:
+            column_rows = self._column_pass(root)
+            if column_rows is not None:
+                return MatchSet(self.pattern, column_rows)
         rows: dict[tuple[int, ...], ResultRow] = {}
         for env, assigns in self._embed(self.pattern.root, root, {}):
             self._record_row(rows, env, assigns)
         return MatchSet(self.pattern, list(rows.values()))
+
+    def _column_pass(self, root: Node) -> Optional[list[ResultRow]]:
+        """The column fast path: the whole pattern evaluated in slot
+        space (:mod:`repro.pattern.columnmatch`), nodes materialised
+        only for the final rows.  ``None`` means stand-down — no
+        compiled plan (OR / interior wildcard / overlay), an unmirrored
+        root, or a scope child without a slot — counted as a
+        ``column_fallback``; the caller runs the object walk."""
+        column = self._column
+        arena = self.arena
+        slot_rows = None
+        if column is not None and arena is not None:
+            root_slot = arena.slot_for(root)
+            scope = self._scope
+            scope_slots: Optional[list[int]] = None
+            usable = root_slot is not None
+            if usable and scope is not None:
+                if scope[0] is not root:
+                    usable = False
+                else:
+                    scope_slots = []
+                    for child in scope[1]:
+                        child_slot = arena.slot_for(child)
+                        if child_slot is None:
+                            usable = False
+                            break
+                        scope_slots.append(child_slot)
+            if usable:
+                assert root_slot is not None
+                slot_rows = column.run(root_slot, scope_slots)
+        if slot_rows is None:
+            self.counter.column_fallbacks += 1
+            return None
+        node_at = arena._node_at
+        return [
+            ResultRow(
+                nodes=tuple(node_at[s] for s in slots), bindings=bindings
+            )
+            for slots, bindings in slot_rows
+        ]
 
     def evaluate_scoped(
         self, document: Document, scope: "Node | Sequence[Node]"
@@ -632,10 +706,14 @@ class Matcher:
         self, pnode: PatternNode, dnode: Node
     ) -> Optional[bool]:
         """Column-scan existence check: a tight int-loop DFS over the
-        arena arrays, label-prefiltered, with the full ``_can`` test
-        applied only to prefilter survivors (sound: the prefilter is
-        implied by ``_can``'s label test).  ``None`` falls back to the
-        index probe or the object walk.
+        arena arrays, label-prefiltered.  For every non-OR pattern kind
+        the column screen is *equivalent* to ``_label_matches`` (an
+        un-interned label already returned ``False`` above; ``ANY_DATA``
+        on a live slot is exactly ``is_data``; a function-name set is
+        screened by interned ids), so a leaf ``pnode`` needs no per-node
+        re-test at all — only interior pnodes still run ``_can``, for
+        their child conditions.  ``None`` falls back to the index probe
+        or the object walk.
         """
         spec = self._arena_filter(pnode)
         if spec is None:
@@ -654,6 +732,7 @@ class Matcher:
         next_sibling = arena.next_sibling
         node_at = arena._node_at
         descend = self.options.descend_into_parameters
+        leaf = not pnode.children
         stack = roots
         while stack:
             slot = stack.pop()
@@ -661,7 +740,7 @@ class Matcher:
             if (
                 (k == want_kind or (want_kind == ANY_DATA and k != KIND_FUNCTION))
                 and (want_ids is None or label_col[slot] in want_ids)
-                and self._can(pnode, node_at[slot])
+                and (leaf or self._can(pnode, node_at[slot]))
             ):
                 return True
             if k == KIND_FUNCTION and not descend:

@@ -161,6 +161,7 @@ class _MemberMatcher(Matcher):
             counter=group.counter,
             index=group.index,
             arena=group.arena,
+            column_match=group.column_match,
         )
         self._group = group
         # Alias the group's tables and id maps: every member reads and
@@ -336,6 +337,11 @@ class PatternGroup:
             answerable (no OR nodes) the projection set is skipped
             entirely — the label prefilter of the scans subsumes it —
             and otherwise the projected set is computed column-side.
+        column_match: run each member's *whole* pattern in slot space
+            (:mod:`repro.pattern.columnmatch`) when it compiles,
+            materialising nodes only for final rows; members that
+            stand down (OR, interior wildcards) use the shared walk as
+            before.  Requires ``arena``; ignored without one.
 
     ``evaluate`` returns per-member :class:`MatchSet`s identical to
     fresh per-pattern matchers.  Bindings overlays are unsupported (see
@@ -350,12 +356,14 @@ class PatternGroup:
         index: Optional[LabelIndex] = None,
         call_source: Optional[object] = None,
         arena: Optional[DocumentArena] = None,
+        column_match: bool = False,
     ) -> None:
         self.options = options or MatchOptions()
         self.counter = counter or MatchCounter()
         self.index = index
         self.call_source = call_source
         self.arena = arena
+        self.column_match = bool(column_match) and arena is not None
         self._can_memo: dict[tuple[int, int], bool] = {}
         self._below_memo: dict[tuple[int, int], bool] = {}
         self._cond_memo: dict[tuple[int, EdgeKind, int], bool] = {}

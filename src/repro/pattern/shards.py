@@ -99,6 +99,7 @@ class ShardedPatternGroup:
         call_source: Optional[object] = None,
         arena: Optional[DocumentArena] = None,
         scheduler: Optional[SchedulerPolicy] = None,
+        column_match: bool = False,
     ) -> None:
         if shards < 2:
             raise ValueError("ShardedPatternGroup needs shards >= 2")
@@ -114,6 +115,7 @@ class ShardedPatternGroup:
                 index=index,
                 call_source=call_source,
                 arena=arena,
+                column_match=column_match,
             )
             for _ in range(shards)
         ]

@@ -29,7 +29,7 @@ from repro.axml.index import LabelIndex
 from repro.axml.node import NodeKind
 from repro.axml.xmlio import parse_document
 from repro.lazy.incremental import LabelFootprint
-from repro.pattern.match import MatchSet, snapshot_result
+from repro.pattern.match import MatchCounter, Matcher, MatchSet, snapshot_result
 from repro.pattern.multimatch import PatternGroup
 from repro.pattern.parse import parse_pattern
 from repro.pattern.shards import ShardedPatternGroup, plan_shards
@@ -594,6 +594,192 @@ def test_engine_reports_arena_and_shard_metrics():
     assert out.metrics.arena_bytes > 0
     assert out.metrics.shard_passes > 0
     assert out.metrics.shard_merge_rows >= len(out.value_rows())
+
+
+# ---------------------------------------------------------------------------
+# Arena existence probes: the column screen is the whole leaf test
+# ---------------------------------------------------------------------------
+
+
+def test_arena_exists_below_skips_can_for_leaf_steps():
+    """The column prefilter in ``_exists_below_arena`` is exactly the
+    node test for every non-OR pattern kind, so a *leaf* probe needs no
+    per-survivor ``_can`` re-judgement — pinned by the counter."""
+    document = sample_document()
+    arena = DocumentArena(document)
+    counter = MatchCounter()
+    pattern = parse_pattern("/root//name")
+    matcher = Matcher(pattern, counter=counter, arena=arena)
+    matcher._reset_memos()
+    name_step = pattern.root.children[0]
+    assert not name_step.children  # a leaf condition
+    assert matcher._exists_below(name_step, document.root)
+    assert counter.can_checks == 0, counter.can_checks
+    # The object-walk twin pays a can-check per candidate it judges.
+    plain_counter = MatchCounter()
+    plain = Matcher(pattern, counter=plain_counter)
+    plain._reset_memos()
+    assert plain._exists_below(name_step, document.root)
+    assert plain_counter.can_checks > 0
+
+
+def test_arena_exists_below_still_judges_interior_steps():
+    """Interior probe targets carry child conditions the column screen
+    cannot see — those survivors must still go through ``_can``."""
+    document = sample_document()
+    arena = DocumentArena(document)
+    counter = MatchCounter()
+    pattern = parse_pattern("/root//hotel/name")
+    matcher = Matcher(pattern, counter=counter, arena=arena)
+    matcher._reset_memos()
+    hotel_step = pattern.root.children[0]
+    assert hotel_step.children  # interior: has the name condition
+    assert matcher._exists_below(hotel_step, document.root)
+    assert counter.can_checks > 0
+
+
+# ---------------------------------------------------------------------------
+# Column matching: slot-space passes vs the object walk
+# ---------------------------------------------------------------------------
+
+
+def column_row_ids(match_set):
+    return [
+        (tuple(id(n) for n in row.nodes), row.bindings) for row in match_set
+    ]
+
+
+@pytest.mark.parametrize("text", QUERIES)
+def test_column_match_rows_and_bindings_pin_to_the_object_walk(text):
+    document = sample_document()
+    arena = DocumentArena(document)
+    query = parse_pattern(text)
+    counter = MatchCounter()
+    plain = Matcher(query, arena=arena).evaluate(document)
+    column = Matcher(
+        query, counter=counter, arena=arena, column_match=True
+    ).evaluate(document)
+    # Full row-by-row equality, order and first-witness bindings
+    # included — not just the sorted key sets.
+    assert column_row_ids(column) == column_row_ids(plain)
+    if text == "/root/*//$v":
+        # Interior data wildcard: the plan compiler stands down and the
+        # object walk answers.
+        assert counter.column_fallbacks == 1
+        assert counter.column_rows == 0
+    else:
+        assert counter.column_fallbacks == 0
+        assert counter.column_rows == len(plain)
+
+
+def test_column_match_auto_off_without_an_arena():
+    query = parse_pattern("/root//name/$x")
+    counter = MatchCounter()
+    matcher = Matcher(query, counter=counter, column_match=True)
+    assert not matcher.column_match
+    result = matcher.evaluate(sample_document())
+    assert len(result) == 2
+    assert counter.column_rows == 0
+    assert counter.column_fallbacks == 0  # never armed, never fell back
+
+
+def test_column_match_falls_back_on_an_unmirrored_root():
+    document = sample_document()
+    arena = DocumentArena(document)
+    other = sample_document()  # not mirrored by this arena
+    query = parse_pattern("/root//name/$x")
+    counter = MatchCounter()
+    matcher = Matcher(query, counter=counter, arena=arena, column_match=True)
+    result = matcher.evaluate(other)
+    assert len(result) == 2
+    assert counter.column_fallbacks == 1
+    assert counter.column_rows == 0
+
+
+@pytest.mark.parametrize("text", QUERIES)
+def test_scoped_column_match_pins_to_the_scoped_object_walk(text):
+    document = sample_document()
+    arena = DocumentArena(document)
+    query = parse_pattern(text)
+    for scope in (
+        document.root.children[0],
+        document.root.children[:2],
+        document.root.children,
+    ):
+        counter = MatchCounter()
+        plain = Matcher(query, arena=arena).evaluate_scoped(document, scope)
+        column = Matcher(
+            query, counter=counter, arena=arena, column_match=True
+        ).evaluate_scoped(document, scope)
+        assert column_row_ids(column) == column_row_ids(plain)
+
+
+def test_column_match_survives_splices():
+    document = sample_document()
+    arena = DocumentArena(document)
+    query = parse_pattern("/root//name/$x")
+    matcher = Matcher(query, arena=arena, column_match=True)
+    document.replace_call(
+        document.function_nodes()[0],
+        [E("hotel", E("name", V("Ritz")), E("rating", V("3")))],
+    )
+    document.remove_subtree(document.root.children[1])
+    plain = Matcher(query, arena=arena).evaluate(document)
+    assert column_row_ids(matcher.evaluate(document)) == column_row_ids(plain)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_column_pass_matches_the_serial_walk(shards):
+    """The combined axis: scoped evaluation inside sharded group passes
+    with the column matcher on, against the plain serial walk."""
+    document = sample_document()
+    arena = DocumentArena(document)
+    members = {
+        "names": parse_pattern("/root//name/$x"),
+        "calls": parse_pattern("/root//getRestos()"),
+    }
+    serial = PatternGroup(members).evaluate(document)
+    sharded = ShardedPatternGroup(
+        members, shards=shards, arena=arena, column_match=True
+    ).evaluate(document)
+    assert sharded.shard_passes == min(shards, len(document.root.children))
+    for key in members:
+        assert row_keys(sharded.match_sets[key]) == row_keys(
+            serial.match_sets[key]
+        )
+
+
+def test_engine_rows_and_logs_match_under_column_matching():
+    for name in ("baseline", "deep-recursion", "multi-root-standing"):
+        gen = regime(name)
+        query = gen.query_for(0)
+        base, base_log = gen.evaluate(query, shared_matching=True)
+        reference = gen.oracle_rows(query)
+        for overrides in (
+            {"arena": True, "column_match": True},
+            {"arena": True, "shared_matching": True, "column_match": True},
+            {
+                "arena": True,
+                "shared_matching": True,
+                "shards": 4,
+                "column_match": True,
+            },
+        ):
+            out, log = gen.evaluate(query, **overrides)
+            assert set(out.value_rows()) == reference, (name, overrides)
+            assert log == base_log, (name, overrides)
+
+
+def test_engine_reports_column_metrics():
+    gen = regime("deep-recursion")
+    out, _ = gen.evaluate(
+        gen.query_for(0), arena=True, shared_matching=True, column_match=True
+    )
+    metrics = out.metrics
+    assert metrics.column_rows + metrics.column_fallbacks > 0
+    if metrics.column_rows:
+        assert metrics.column_pass_nodes > 0
+    assert "col-" in metrics.summary()
 
 
 # ---------------------------------------------------------------------------

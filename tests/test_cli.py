@@ -275,3 +275,50 @@ def test_serve_command(workspace, capsys):
     assert "per-tenant metrics:" in out
     assert "alpha:" in out and "beta:" in out
     assert "pending deltas" in out
+
+
+def test_eval_rejects_column_match_without_arena(workspace, capsys):
+    code = main(
+        [
+            "eval",
+            "--document", str(workspace / "hotels.xml"),
+            "--services", str(workspace / "services.xml"),
+            "--query", QUERY,
+            "--column-match",
+        ]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--column-match" in err and "--arena" in err
+
+
+def test_eval_rejects_shards_without_shared_matching(workspace, capsys):
+    code = main(
+        [
+            "eval",
+            "--document", str(workspace / "hotels.xml"),
+            "--services", str(workspace / "services.xml"),
+            "--query", QUERY,
+            "--shards", "4",
+        ]
+    )
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "--shards" in err and "--shared-matching" in err
+
+
+def test_eval_column_match_with_arena_runs(workspace, capsys):
+    code = main(
+        [
+            "eval",
+            "--document", str(workspace / "hotels.xml"),
+            "--services", str(workspace / "services.xml"),
+            "--query", "/hotels/hotel/name/$N",
+            "--arena",
+            "--column-match",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "colmatch" in out  # the config label names the column path
+    assert "rows=4" in out

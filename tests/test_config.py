@@ -53,6 +53,10 @@ def test_baselines_disable_layering():
             dict(strategy=Strategy.LAZY_NFQ, speculative=True),
             "lazy-nfq+spec",
         ),
+        (
+            dict(strategy=Strategy.LAZY_NFQ, arena=True, column_match=True),
+            "lazy-nfq+arena+colmatch",
+        ),
     ],
 )
 def test_labels(kwargs, expected):
@@ -92,6 +96,7 @@ def test_bad_values_fail_fast_naming_the_field(kwargs, field):
     [
         (dict(parallel="yes"), "parallel"),
         (dict(use_layers=1), "use_layers"),
+        (dict(column_match=1), "column_match"),
         (dict(retry=3), "retry"),
         (dict(breaker="open"), "breaker"),
         (dict(trace="stdout"), "trace"),

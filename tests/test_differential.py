@@ -12,7 +12,9 @@ workloads — documents x queries x fault plans — and asserts that
 * lazy NFQA with the call-result cache,
 * lazy NFQA with incremental relevance analysis,
 * lazy NFQA with the shared multi-query matching pass (alone and
-  stacked on incremental analysis), and
+  stacked on incremental analysis),
+* lazy NFQA with arena-backed column matching (alone and stacked on
+  the shared pass), and
 * continuous queries with delta-driven answer maintenance, pinned
   against full re-evaluation across random splice sequences
 
@@ -50,6 +52,15 @@ CONFIGS = {
     "lazy+shared": dict(strategy=Strategy.LAZY_NFQ, shared_matching=True),
     "lazy+shared+inc": dict(
         strategy=Strategy.LAZY_NFQ, shared_matching=True, incremental=True
+    ),
+    "lazy+arena+colmatch": dict(
+        strategy=Strategy.LAZY_NFQ, arena=True, column_match=True
+    ),
+    "lazy+shared+colmatch": dict(
+        strategy=Strategy.LAZY_NFQ,
+        arena=True,
+        shared_matching=True,
+        column_match=True,
     ),
 }
 
@@ -414,7 +425,15 @@ FUZZ_REGIMES = (
     "multi-root-standing",
 )
 
-LOG_PINNED_CONFIGS = ("lazy+incremental", "lazy+shared", "lazy+shared+inc")
+LOG_PINNED_CONFIGS = (
+    "lazy+incremental",
+    "lazy+shared",
+    "lazy+shared+inc",
+    # The column plan is an access path, never an invocation change —
+    # rows come out of slot space but the calls replay exactly.
+    "lazy+arena+colmatch",
+    "lazy+shared+colmatch",
+)
 
 
 def _factory_log(bus: ServiceBus):
